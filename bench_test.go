@@ -1,0 +1,317 @@
+package gem5prof_test
+
+// One benchmark per table and figure of the paper (regenerating the
+// corresponding experiment in quick mode), the ablation benches called out
+// in DESIGN.md §5, and micro-benchmarks of the substrate hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches report the experiment's headline number via
+// b.ReportMetric so regressions in *shape*, not just speed, show up.
+
+import (
+	"testing"
+
+	"gem5prof"
+
+	"gem5prof/internal/hostmodel"
+	"gem5prof/internal/mem"
+	"gem5prof/internal/platform"
+	"gem5prof/internal/sim"
+	"gem5prof/internal/uarch"
+)
+
+var quick = gem5prof.ExperimentOptions{Quick: true}
+
+// benchExperiment regenerates one figure/table per iteration.
+func benchExperiment(b *testing.B, id string, metric func(*gem5prof.Experiment) (float64, string)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := gem5prof.RunExperiment(id, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			v, unit := metric(res)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)  { benchExperiment(b, "table1", nil) }
+func BenchmarkTableII(b *testing.B) { benchExperiment(b, "table2", nil) }
+
+func BenchmarkFig01_PlatformSpeedup(b *testing.B) {
+	benchExperiment(b, "fig01", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "m1pro-speedup-x"
+	})
+}
+
+func BenchmarkFig02_TopDown(b *testing.B) {
+	benchExperiment(b, "fig02", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[1], "o3-frontend-%"
+	})
+}
+
+func BenchmarkFig03_FESplit(b *testing.B) {
+	benchExperiment(b, "fig03", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "o3-fe-latency-%"
+	})
+}
+
+func BenchmarkFig04_FELatency(b *testing.B) {
+	benchExperiment(b, "fig04", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "o3-icache-%"
+	})
+}
+
+func BenchmarkFig05_FEBandwidth(b *testing.B) {
+	benchExperiment(b, "fig05", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[2], "o3-mite-share-%"
+	})
+}
+
+func BenchmarkFig06_DSBCoverage(b *testing.B) {
+	benchExperiment(b, "fig06", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "o3-dsb-coverage-%"
+	})
+}
+
+func BenchmarkFig07_IPC(b *testing.B) {
+	benchExperiment(b, "fig07", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[1] / r.Rows[0].Values[0], "m1-ipc-ratio-x"
+	})
+}
+
+func BenchmarkFig08_MissRates(b *testing.B) {
+	benchExperiment(b, "fig08", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "xeon-itlb-miss-%"
+	})
+}
+
+func BenchmarkFig09_LLCOccupancy(b *testing.B) {
+	benchExperiment(b, "fig09", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[len(r.Rows)-1].Values[0], "fs-o3-llc-KB"
+	})
+}
+
+func BenchmarkFig10_HugePages(b *testing.B) {
+	benchExperiment(b, "fig10", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[3].Values[0], "o3-thp-speedup-%"
+	})
+}
+
+func BenchmarkFig11_THPiTLB(b *testing.B) {
+	benchExperiment(b, "fig11", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[3].Values[0], "o3-itlb-reduction-%"
+	})
+}
+
+func BenchmarkFig12_O3Build(b *testing.B) {
+	benchExperiment(b, "fig12", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[2], "xeon-mean-speedup-%"
+	})
+}
+
+func BenchmarkFig13_Frequency(b *testing.B) {
+	benchExperiment(b, "fig13", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[0], "1.2GHz-slowdown-x"
+	})
+}
+
+func BenchmarkFig14_FireSimSweep(b *testing.B) {
+	benchExperiment(b, "fig14", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[len(r.Rows)-1].Values[0], "best-atomic-speedup-x"
+	})
+}
+
+func BenchmarkFig15_HotFunctions(b *testing.B) {
+	benchExperiment(b, "fig15", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[3].Values[3], "o3-funcs-called"
+	})
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// cosim runs one co-simulation and returns the modeled host seconds.
+func cosim(b *testing.B, host gem5prof.HostConfig, hc gem5prof.HostCodeConfig) float64 {
+	b.Helper()
+	res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+		Guest: gem5prof.GuestConfig{
+			CPU: gem5prof.O3, Mode: gem5prof.SE,
+			Workload: "water_nsquared", Scale: 40,
+		},
+		Host:     host,
+		HostCode: hc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.SimSeconds()
+}
+
+// BenchmarkAblationDSB (A1): how much the Xeon's uop cache buys on gem5.
+func BenchmarkAblationDSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+		no := gem5prof.IntelXeon()
+		no.DSBUops = 0
+		without := cosim(b, no, gem5prof.HostCodeConfig{})
+		b.ReportMetric(without/with, "dsb-speedup-x")
+	}
+}
+
+// BenchmarkAblationVIPT (A2): free L1I geometry (no VIPT constraint) vs the
+// constrained baseline — what the Xeon could do with a 128KB L1I.
+func BenchmarkAblationVIPT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+		big := gem5prof.IntelXeon()
+		big.L1I = uarch.CacheGeom{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64}
+		big.SkipVIPTCheck = true
+		free := cosim(b, big, gem5prof.HostCodeConfig{})
+		b.ReportMetric(base/free, "non-vipt-speedup-x")
+	}
+}
+
+// BenchmarkAblationMLP (A3): the analytical MLP overlap factor.
+func BenchmarkAblationMLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+		none := gem5prof.IntelXeon()
+		none.MLPOverlap = 0
+		noOverlap := cosim(b, none, gem5prof.HostCodeConfig{})
+		b.ReportMetric(noOverlap/base, "mlp-slowdown-x")
+	}
+}
+
+// BenchmarkAblationLayout (A4): scattered (bit-reversed) function placement
+// versus densely packed link order.
+func BenchmarkAblationLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scattered := cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+		packed := hostmodel.DefaultConfig()
+		packed.TextSlots = 2 // force sequential overflow placement
+		dense := cosim(b, gem5prof.IntelXeon(), packed)
+		b.ReportMetric(scattered/dense, "layout-cost-x")
+	}
+}
+
+// BenchmarkAblationEventQueue (A5): binary heap vs calendar queue backend,
+// measured on real wall-clock per guest instruction.
+func BenchmarkAblationEventQueue(b *testing.B) {
+	for _, backend := range []struct {
+		name string
+		cal  bool
+	}{{"heap", false}, {"calendar", true}} {
+		b.Run(backend.name, func(b *testing.B) {
+			insts := uint64(0)
+			for i := 0; i < b.N; i++ {
+				res, err := gem5prof.RunGuest(gem5prof.GuestConfig{
+					CPU: gem5prof.Timing, Workload: "sieve", Scale: 4096,
+					CalendarQueue: backend.cal,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.Insts
+			}
+			b.ReportMetric(float64(insts)/float64(b.N), "guest-insts")
+		})
+	}
+}
+
+// --- Substrate micro-benches ---
+
+func BenchmarkEventQueueHeap(b *testing.B) {
+	q := sim.NewHeapQueue()
+	ev := make([]*sim.Event, 64)
+	for i := range ev {
+		ev[i] = sim.NewEvent("e", 0, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := ev[i%len(ev)]
+		q.Schedule(e, q.Now()+sim.Tick(i%1000))
+		q.ServiceOne()
+	}
+}
+
+func BenchmarkEventQueueCalendar(b *testing.B) {
+	q := sim.NewCalendarQueue(256, 100)
+	ev := make([]*sim.Event, 64)
+	for i := range ev {
+		ev[i] = sim.NewEvent("e", 0, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := ev[i%len(ev)]
+		q.Schedule(e, q.Now()+sim.Tick(i%1000))
+		q.ServiceOne()
+	}
+}
+
+func BenchmarkGuestAtomicMIPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := gem5prof.RunGuest(gem5prof.GuestConfig{
+			CPU: gem5prof.Atomic, Workload: "sieve", Scale: 8192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Insts))
+	}
+}
+
+func BenchmarkGuestO3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gem5prof.RunGuest(gem5prof.GuestConfig{
+			CPU: gem5prof.O3, Workload: "dedup", Scale: 4096,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCosimXeon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+	}
+}
+
+func BenchmarkGuestCacheAtomicAccess(b *testing.B) {
+	sys := sim.NewSystem(1)
+	h := mem.NewHierarchy(sys, mem.DefaultHierarchyConfig("b"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.L1D.AtomicLatency(mem.Access{Addr: uint32(i*64) % (1 << 22), Size: 8})
+	}
+}
+
+func BenchmarkHostMachineFetch(b *testing.B) {
+	m := uarch.NewMachine(platform.IntelXeon())
+	m.MapText(0x40_0000, 0x40_0000+64<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FetchBlock(0x40_0000+uint64(i*64)%(8<<20), 32, 8)
+	}
+}
+
+// BenchmarkSPECGenerators exercises the three reference workload models.
+func BenchmarkSPECGenerators(b *testing.B) {
+	for _, name := range gem5prof.SPECNames() {
+		b.Run(name, func(b *testing.B) {
+			p, err := gem5prof.SPECByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				m := uarch.NewMachine(platform.IntelXeon())
+				rep := p.Run(m, 50_000)
+				b.ReportMetric(rep.IPC, "uops/cycle")
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-run table1,fig01,...|all] [-o out.txt]
+//
+// Each experiment prints an aligned table whose rows mirror the series of
+// the corresponding figure, plus notes comparing the measured shape with the
+// paper's published numbers (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gem5prof/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced workload sets and problem sizes")
+	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	outPath := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *runList != "all" {
+		ids = strings.Split(*runList, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	start := time.Now()
+	failed := 0
+	for _, id := range ids {
+		t0 := time.Now()
+		res, err := experiments.Run(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintf(out, "  (generated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

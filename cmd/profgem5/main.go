@@ -1,0 +1,84 @@
+// Command profgem5 is the paper's measurement in one invocation: run the g5
+// simulator under a modeled host platform and print the VTune-style profile
+// (Top-Down breakdown, cache/TLB/branch rates, simulation time) and
+// optionally the perf-style hot-function table.
+//
+// Usage:
+//
+//	profgem5 -platform Intel_Xeon -cpu o3 -workload water_nsquared
+//	profgem5 -platform M1_Pro -cpu atomic -top 20
+//	profgem5 -platform Intel_Xeon -hugepages thp -procs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gem5prof"
+)
+
+func main() {
+	plat := flag.String("platform", "Intel_Xeon", "host platform: Intel_Xeon|M1_Pro|M1_Ultra")
+	cpuModel := flag.String("cpu", "atomic", "guest CPU model: atomic|timing|minor|o3")
+	mode := flag.String("mode", "se", "guest mode: se|fs")
+	workload := flag.String("workload", "water_nsquared", "guest workload")
+	scale := flag.Int("scale", 0, "problem size (0 = default)")
+	bootExit := flag.Bool("boot-exit", false, "FS: boot and exit")
+	top := flag.Int("top", 0, "print the N hottest simulator functions")
+	procs := flag.Int("procs", 1, "co-running gem5 processes (LLC contention)")
+	smt := flag.Bool("smt", false, "share each physical core between two processes")
+	hugepages := flag.String("hugepages", "base", "code backing: base|thp|ehp")
+	o3build := flag.Bool("O3-build", false, "model the -O3 compiled binary")
+	flag.Parse()
+
+	host, err := gem5prof.PlatformByName(*plat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profgem5:", err)
+		os.Exit(1)
+	}
+	switch *hugepages {
+	case "base":
+	case "thp":
+		host.HugePages = gem5prof.PagesTHP
+	case "ehp":
+		host.HugePages = gem5prof.PagesEHP
+	default:
+		fmt.Fprintf(os.Stderr, "profgem5: unknown -hugepages %q\n", *hugepages)
+		os.Exit(1)
+	}
+
+	cfg := gem5prof.SessionConfig{
+		Guest: gem5prof.GuestConfig{
+			CPU:      gem5prof.CPUModel(*cpuModel),
+			Mode:     gem5prof.Mode(*mode),
+			Workload: *workload,
+			Scale:    *scale,
+			BootExit: *bootExit,
+		},
+		Host:     host,
+		Scenario: gem5prof.Scenario{Procs: *procs, SMT: *smt},
+		Profile:  *top > 0,
+	}
+	if *o3build {
+		cfg.HostCode = gem5prof.HostCodeConfig{SizeFactor: 0.97}
+	}
+
+	t0 := time.Now()
+	res, err := gem5prof.RunSession(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profgem5:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("guest: %d instructions, %d simulator events, exited: %s\n",
+		res.Guest.Insts, res.Guest.HostEvents, res.Guest.ExitReason)
+	fmt.Printf("simulator binary: %.1f MB text, %d functions (%d called)\n",
+		float64(res.TextBytes)/1e6, res.NumFuncs, res.CalledFuncs)
+	fmt.Printf("simulation time (host seconds): %.6f\n\n", res.SimSeconds())
+	fmt.Print(res.Host)
+	if res.Prof != nil {
+		fmt.Printf("\nhottest %d functions:\n%s", *top, res.Prof.Render(*top))
+	}
+	fmt.Printf("\n(wall clock %v)\n", time.Since(t0).Round(time.Millisecond))
+}

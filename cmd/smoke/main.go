@@ -1,0 +1,59 @@
+// Command smoke is a development scratch harness for eyeballing
+// co-simulation calibration. The real deliverables are cmd/experiments and
+// the benchmarks; this stays in the tree as a quick doctor.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gem5prof/internal/core"
+	"gem5prof/internal/platform"
+	"gem5prof/internal/uarch"
+)
+
+func run(model core.CPUModel, host uarch.Config, workload string, scale int) *core.SessionResult {
+	res, err := core.RunSession(core.SessionConfig{
+		Guest: core.GuestConfig{CPU: model, Mode: core.SE, Workload: workload, Scale: scale},
+		Host:  host,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func main() {
+	t0 := time.Now()
+	fmt.Println("=== cross-platform (water_nsquared, scale 48) ===")
+	for _, model := range core.AllCPUModels {
+		x := run(model, platform.IntelXeon(), "water_nsquared", 48)
+		p := run(model, platform.M1Pro(), "water_nsquared", 48)
+		u := run(model, platform.M1Ultra(), "water_nsquared", 48)
+		fmt.Printf("%-7s xeon %.5fs  m1pro %.5fs (%.2fx)  m1ultra %.5fs (%.2fx)  [xeon IPC %.2f m1 IPC %.2f]\n",
+			model, x.SimSeconds(), p.SimSeconds(), x.SimSeconds()/p.SimSeconds(),
+			u.SimSeconds(), x.SimSeconds()/u.SimSeconds(), x.Host.IPC, p.Host.IPC)
+	}
+
+	fmt.Println("=== FireSim L1 sweep (sieve, atomic) ===")
+	for _, cfg := range []uarch.Config{
+		platform.FireSimRocket(8, 2, 8, 2, 512, 8),
+		platform.FireSimRocket(16, 4, 16, 4, 512, 8),
+		platform.FireSimRocket(32, 8, 32, 8, 512, 8),
+		platform.FireSimRocket(64, 16, 64, 16, 512, 8),
+		platform.FireSimRocket(8, 2, 8, 2, 2048, 8),
+	} {
+		r := run(core.Atomic, cfg, "sieve", 2048)
+		fmt.Printf("%-40s %.5fs\n", cfg.Name, r.SimSeconds())
+	}
+
+	fmt.Println("=== huge pages (o3) ===")
+	for _, hp := range []uarch.HugePageMode{uarch.PagesBase, uarch.PagesTHP, uarch.PagesEHP} {
+		cfg := platform.IntelXeon()
+		cfg.HugePages = hp
+		r := run(core.O3, cfg, "water_nsquared", 48)
+		fmt.Printf("%-5v %.5fs  (iTLB share %.2f%%, retiring %.2f%%)\n",
+			hp, r.SimSeconds(), 100*r.Host.Level1.ITLBMisses, 100*r.Host.Level1.Retiring)
+	}
+	fmt.Println("wall:", time.Since(t0).Round(time.Millisecond))
+}

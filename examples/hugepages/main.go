@@ -1,0 +1,50 @@
+// hugepages reproduces the paper's Sec. V-A system tuning in miniature:
+// back the simulator's code with transparent or explicit huge pages and
+// watch the iTLB stalls collapse (paper Figs. 10-11).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gem5prof"
+)
+
+func main() {
+	modes := []struct {
+		label string
+		mode  gem5prof.HugePageMode
+	}{
+		{"4KB pages (baseline)", gem5prof.PagesBase},
+		{"transparent huge pages (THP)", gem5prof.PagesTHP},
+		{"explicit huge pages (EHP)", gem5prof.PagesEHP},
+	}
+
+	fmt.Println("gem5 (O3 model, water_nsquared) on Intel_Xeon with different code backing:")
+	var base float64
+	for i, m := range modes {
+		host := gem5prof.IntelXeon()
+		host.HugePages = m.mode
+		res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+			Guest: gem5prof.GuestConfig{
+				CPU:      gem5prof.O3,
+				Mode:     gem5prof.SE,
+				Workload: "water_nsquared",
+				Scale:    64,
+			},
+			Host: host,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := res.SimSeconds()
+		if i == 0 {
+			base = t
+		}
+		fmt.Printf("%-30s time %.6fs  speedup %+5.2f%%  iTLB stalls %5.2f%% of cycles  retiring %5.2f%%\n",
+			m.label, t, 100*(base/t-1),
+			100*res.Host.Level1.ITLBMisses, 100*res.Host.Level1.Retiring)
+	}
+	fmt.Println("\npaper: huge pages buy up to 5.9% simulation speed, cutting iTLB")
+	fmt.Println("overhead ~63% on average — most of it for detailed CPU models.")
+}

@@ -1,0 +1,74 @@
+// platform_compare is the paper's headline experiment in miniature: profile
+// the same gem5 simulation on the Intel Xeon and Apple M1 host models and
+// watch the M1 finish first, driven by its larger VIPT L1 caches and 16KB
+// pages (paper Figs. 1, 7, 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gem5prof"
+)
+
+func main() {
+	hosts := []gem5prof.HostConfig{
+		gem5prof.IntelXeon(),
+		gem5prof.M1Pro(),
+		gem5prof.M1Ultra(),
+	}
+
+	fmt.Printf("%-8s", "cpu")
+	for _, h := range hosts {
+		fmt.Printf(" %22s", h.Name)
+	}
+	fmt.Println("   (simulation host-seconds; speedup vs Xeon)")
+
+	for _, cpu := range gem5prof.AllCPUModels {
+		fmt.Printf("%-8s", cpu)
+		var xeon float64
+		for i, host := range hosts {
+			res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+				Guest: gem5prof.GuestConfig{
+					CPU:      cpu,
+					Mode:     gem5prof.SE,
+					Workload: "water_nsquared",
+					Scale:    48,
+				},
+				Host: host,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := res.SimSeconds()
+			if i == 0 {
+				xeon = t
+				fmt.Printf(" %14.6fs  1.00x", t)
+			} else {
+				fmt.Printf(" %14.6fs %5.2fx", t, xeon/t)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Show why: the per-platform micro-architecture profile.
+	fmt.Println("\nwhy (O3 simulation):")
+	for _, host := range hosts {
+		res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+			Guest: gem5prof.GuestConfig{
+				CPU: gem5prof.O3, Mode: gem5prof.SE,
+				Workload: "water_nsquared", Scale: 48,
+			},
+			Host: host,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Host
+		fmt.Printf("%-11s IPC %4.2f  stalled %4.1f%%  L1I miss %5.2f%%  iTLB miss %5.2f%%  dTLB miss %5.2f%%\n",
+			host.Name, r.IPC, 100*r.StallFrac, 100*r.ICacheMissRate,
+			100*r.ITLBMissRate, 100*r.DTLBMissRate)
+	}
+	fmt.Println("\nthe M1's 192KB iCache (6x the Xeon's) and 16KB pages cut the")
+	fmt.Println("front-end stalls that dominate gem5 — the paper's core finding.")
+}

@@ -1,0 +1,3 @@
+module gem5prof
+
+go 1.22

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gem5prof/internal/cpu"
+	"gem5prof/internal/guest"
+	"gem5prof/internal/sim"
+)
+
+// Checkpoint is a readable (JSON) snapshot of a quiesced guest, mirroring
+// gem5's checkpointing flow that the paper's methodology depends on:
+// fast-forward with the Atomic CPU, checkpoint, then restore into any CPU
+// model — including on a different host platform.
+type Checkpoint struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Tick is the guest time at which the checkpoint was taken.
+	Tick sim.Tick `json:"tick"`
+	// Insts is the committed instruction count at the checkpoint.
+	Insts uint64 `json:"insts"`
+	// Workload/Mode/Scale describe what was running (metadata only).
+	Workload string `json:"workload"`
+	Mode     Mode   `json:"mode"`
+	Scale    int    `json:"scale"`
+	// Arch is per-core architectural state.
+	Arch []cpu.ArchState `json:"arch"`
+	// Mem is the physical memory image (touched pages only).
+	Mem guest.MemoryImage `json:"mem"`
+}
+
+// checkpointVersion is the current serialization format.
+const checkpointVersion = 1
+
+// RunFor services events until the guest clock advances by delta ticks (or
+// the workload exits). It returns the raw run result so callers can
+// distinguish completion from the time limit.
+func (g *GuestSystem) RunFor(delta sim.Tick) sim.RunResult {
+	return g.Sys.Run(g.Sys.Now()+delta, 0)
+}
+
+// TakeCheckpoint serializes the guest. The guest must be quiesced at an
+// instruction boundary, which is guaranteed between events only for the
+// Atomic CPU model (gem5 has the same restriction in spirit: simple CPUs
+// are the fast-forward/checkpoint vehicles).
+func (g *GuestSystem) TakeCheckpoint() (*Checkpoint, error) {
+	if g.Cfg.CPU != Atomic {
+		return nil, fmt.Errorf("core: checkpoints require the Atomic CPU (got %s)", g.Cfg.CPU)
+	}
+	for _, c := range g.CPUs {
+		if c.Core().Waiting() {
+			return nil, fmt.Errorf("core: cannot checkpoint a core parked in WFI")
+		}
+	}
+	ck := &Checkpoint{
+		Version:  checkpointVersion,
+		Tick:     g.Sys.Now(),
+		Workload: g.Cfg.Workload,
+		Mode:     g.Cfg.Mode,
+		Scale:    g.Cfg.Scale,
+		Mem:      g.Mem.Snapshot(),
+	}
+	for _, c := range g.CPUs {
+		ck.Arch = append(ck.Arch, c.Core().SaveArchState())
+		ck.Insts += c.Core().CommittedInsts()
+	}
+	return ck, nil
+}
+
+// Encode renders the checkpoint as (readable) JSON.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	return json.MarshalIndent(c, "", " ")
+}
+
+// DecodeCheckpoint parses an encoded checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("core: bad checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d unsupported", ck.Version)
+	}
+	if len(ck.Arch) == 0 {
+		return nil, fmt.Errorf("core: checkpoint has no CPU state")
+	}
+	return &ck, nil
+}
+
+// RestoreGuest builds a guest from cfg and resumes it from the checkpoint.
+// cfg may select a *different* CPU model than the one that took the
+// checkpoint (the gem5 fast-forward-then-switch flow) and runs under any
+// tracer/host platform. The core count must match.
+func RestoreGuest(cfg GuestConfig, ck *Checkpoint, tracer sim.Tracer) (*GuestSystem, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumCPUs != len(ck.Arch) {
+		return nil, fmt.Errorf("core: checkpoint has %d cores, config wants %d", len(ck.Arch), cfg.NumCPUs)
+	}
+	// Carry the workload identity so the restored run validates against the
+	// same reference checksum.
+	if cfg.Workload == "" {
+		cfg.Workload = ck.Workload
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = ck.Scale
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ck.Mode
+	}
+	g, _, err := buildGuest(cfg, tracer)
+	if err != nil {
+		return nil, err
+	}
+	// Overwrite the freshly loaded image with the checkpointed memory and
+	// register state, then start each core at its checkpointed PC (not the
+	// workload entry).
+	if err := g.Mem.LoadImage(ck.Mem); err != nil {
+		return nil, err
+	}
+	for i, c := range g.CPUs {
+		c.Core().LoadArchState(ck.Arch[i])
+		c.Start(ck.Arch[i].PC)
+	}
+	return g, nil
+}

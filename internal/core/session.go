@@ -1,0 +1,90 @@
+package core
+
+import (
+	"gem5prof/internal/hostmodel"
+	"gem5prof/internal/platform"
+	"gem5prof/internal/profiler"
+	"gem5prof/internal/uarch"
+)
+
+// SessionConfig describes one co-simulation: a guest g5 simulation executed
+// on a modeled host platform — the paper's unit of measurement.
+type SessionConfig struct {
+	Guest GuestConfig
+	// Host is the host machine model (see internal/platform).
+	Host uarch.Config
+	// Scenario applies co-run/SMT contention (Fig. 1).
+	Scenario platform.Scenario
+	// HostCode overrides the code-model parameters; zero value = defaults.
+	// SizeFactor < 1 models the -O3 build (Fig. 12).
+	HostCode hostmodel.Config
+	// Profile attaches the function profiler (Fig. 15). It adds overhead,
+	// so it is off by default.
+	Profile bool
+}
+
+// SessionResult is one completed co-simulation.
+type SessionResult struct {
+	// Guest is the guest-side result (simulated ticks, instructions).
+	Guest *GuestResult
+	// Host is the host machine's profile; Host.TimeSeconds is the paper's
+	// "simulation time (host seconds)" metric.
+	Host uarch.Report
+	// Prof is the function profiler when SessionConfig.Profile was set.
+	Prof *profiler.Profiler
+	// Code summarizes the synthetic simulator binary.
+	TextBytes   uint64
+	NumFuncs    int
+	CalledFuncs int
+}
+
+// SimSeconds returns the modeled host wall-clock of the simulation.
+func (r *SessionResult) SimSeconds() float64 { return r.Host.TimeSeconds }
+
+// RunSession builds and runs one co-simulation.
+func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	host := platform.Contend(cfg.Host, cfg.Scenario)
+	machine := uarch.NewMachine(host)
+
+	hc := cfg.HostCode
+	if hc.TextBase == 0 {
+		def := hostmodel.DefaultConfig()
+		if hc.SizeFactor > 0 {
+			def.SizeFactor = hc.SizeFactor
+		}
+		hc = def
+	}
+	cm := hostmodel.New(hc, machine)
+
+	var prof *profiler.Profiler
+	if cfg.Profile {
+		prof = profiler.New(machine, cm)
+		cm.SetProfiler(prof)
+	}
+
+	guest, err := BuildGuest(cfg.Guest, cm)
+	if err != nil {
+		return nil, err
+	}
+
+	// The simulator binary is now fully laid out; hand the address map to
+	// the host machine so its TLBs know the page backing.
+	tb, te := cm.TextRange()
+	machine.MapText(tb, te)
+	hb, he := cm.HeapRange()
+	machine.MapData(hb, he)
+	machine.MapData(hc.StackBase-(1<<20), hc.StackBase+(1<<12))
+
+	gres, err := guest.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &SessionResult{
+		Guest:       gres,
+		Host:        machine.Report(),
+		Prof:        prof,
+		TextBytes:   cm.TextBytes(),
+		NumFuncs:    cm.NumFuncs(),
+		CalledFuncs: cm.CalledFuncs(),
+	}, nil
+}

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gem5prof/internal/guest"
+	"gem5prof/internal/isa"
+	"gem5prof/internal/sim"
+)
+
+// genProgram emits a random but guaranteed-terminating KISA program:
+// straight-line arithmetic/memory blocks interleaved with bounded counted
+// loops, ending in an ecall. Data lives in a scratch region; every memory
+// access is generated in range and naturally aligned.
+func genProgram(rng *rand.Rand, blocks int) string {
+	src := "_start:\n\tli sp, 0xF00000\n\tla s11, scratch\n"
+	loopID := 0
+	for b := 0; b < blocks; b++ {
+		// A few random register ops. Registers x5..x17 are fair game.
+		reg := func() int { return 5 + rng.Intn(13) }
+		for i := 0; i < 4+rng.Intn(8); i++ {
+			rd, r1, r2 := reg(), reg(), reg()
+			switch rng.Intn(10) {
+			case 0:
+				src += fmt.Sprintf("\tadd x%d, x%d, x%d\n", rd, r1, r2)
+			case 1:
+				src += fmt.Sprintf("\tsub x%d, x%d, x%d\n", rd, r1, r2)
+			case 2:
+				src += fmt.Sprintf("\txor x%d, x%d, x%d\n", rd, r1, r2)
+			case 3:
+				src += fmt.Sprintf("\tmul x%d, x%d, x%d\n", rd, r1, r2)
+			case 4:
+				src += fmt.Sprintf("\tslli x%d, x%d, %d\n", rd, r1, rng.Intn(31))
+			case 5:
+				src += fmt.Sprintf("\taddi x%d, x%d, %d\n", rd, r1, rng.Intn(2000)-1000)
+			case 6:
+				src += fmt.Sprintf("\tsltu x%d, x%d, x%d\n", rd, r1, r2)
+			case 7:
+				// Aligned store + load within the scratch region.
+				off := rng.Intn(64) * 4
+				src += fmt.Sprintf("\tsw x%d, %d(s11)\n", r1, off)
+				src += fmt.Sprintf("\tlw x%d, %d(s11)\n", rd, off)
+			case 8:
+				src += fmt.Sprintf("\tdiv x%d, x%d, x%d\n", rd, r1, r2)
+			case 9:
+				src += fmt.Sprintf("\tsra x%d, x%d, x%d\n", rd, r1, r2)
+			}
+		}
+		// A bounded loop: for t6 = K..0 { body }.
+		iter := 1 + rng.Intn(6)
+		src += fmt.Sprintf("\tli t6, %d\nloop%d:\n", iter, loopID)
+		src += fmt.Sprintf("\tadd x%d, x%d, t6\n", reg(), reg())
+		src += fmt.Sprintf("\taddi t6, t6, -1\n\tbne t6, x0, loop%d\n", loopID)
+		loopID++
+	}
+	// Fold the register file into a0 and exit.
+	src += "\tli a0, 0\n"
+	for r := 5; r <= 17; r++ {
+		src += fmt.Sprintf("\tadd a0, a0, x%d\n", r)
+		src += fmt.Sprintf("\txor a0, a0, x%d\n", r)
+	}
+	src += "\tli a7, 93\n\tecall\nscratch:\n\t.space 256\n"
+	return src
+}
+
+// refCtx is a bare interpreter context over real guest memory: the oracle
+// the pipeline models are compared against.
+type refCtx struct {
+	regs  [32]uint32
+	fregs [32]float64
+	pc    uint32
+	csrs  map[uint32]uint32
+	mem   *guest.Memory
+}
+
+func (c *refCtx) ReadReg(r uint8) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return c.regs[r]
+}
+
+func (c *refCtx) WriteReg(r uint8, v uint32) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+func (c *refCtx) ReadFReg(r uint8) float64                 { return c.fregs[r] }
+func (c *refCtx) WriteFReg(r uint8, v float64)             { c.fregs[r] = v }
+func (c *refCtx) PC() uint32                               { return c.pc }
+func (c *refCtx) ReadMem(a uint32, s int) (uint64, error)  { return c.mem.Read(a, s) }
+func (c *refCtx) WriteMem(a uint32, s int, v uint64) error { return c.mem.Write(a, s, v) }
+func (c *refCtx) ReadCSR(num uint32) uint32                { return c.csrs[num] }
+func (c *refCtx) WriteCSR(num uint32, v uint32)            { c.csrs[num] = v }
+func (c *refCtx) Ecall()                                   {}
+func (c *refCtx) Ebreak()                                  {}
+func (c *refCtx) Wfi()                                     {}
+func (c *refCtx) Mret() uint32                             { return c.csrs[CSRMEPC] }
+
+// refRun executes the program with the bare interpreter (no pipeline, no
+// events) and returns the exit value in a0.
+func refRun(t *testing.T, prog *isa.Program) uint32 {
+	t.Helper()
+	mem := guest.NewMemory(16 << 20)
+	if err := mem.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &refCtx{csrs: map[uint32]uint32{}, mem: mem, pc: prog.Entry}
+	for steps := 0; steps < 5_000_000; steps++ {
+		w, err := mem.FetchWord(ctx.pc)
+		if err != nil {
+			t.Fatalf("ref fetch: %v", err)
+		}
+		in := isa.Decode(w)
+		if in.Op == isa.OpEcall {
+			return ctx.ReadReg(10)
+		}
+		out, err := isa.Execute(in, ctx)
+		if err != nil {
+			t.Fatalf("ref exec at %#x: %v", ctx.pc, err)
+		}
+		ctx.pc = out.NextPC(ctx.pc)
+	}
+	t.Fatal("reference interpreter did not terminate")
+	return 0
+}
+
+// TestDifferentialRandomPrograms cross-checks the four pipeline models
+// against the bare interpreter on randomly generated programs. Any
+// divergence is a pipeline correctness bug (wrong-path leakage, hazard
+// mishandling, lost redirects).
+func TestDifferentialRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			src := genProgram(rng, 3+rng.Intn(5))
+			prog, err := isa.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v\n%s", err, src)
+			}
+			want := refRun(t, prog)
+			for _, model := range allModels {
+				for _, caches := range []bool{false, true} {
+					r := buildRig(t, model, src, caches)
+					res := r.sys.Run(10*sim.Second, 100_000_000)
+					if res.Status != sim.ExitRequested {
+						t.Fatalf("%s caches=%v: did not exit: %+v", model, caches, res)
+					}
+					if got := uint32(res.ExitCode); got != want {
+						t.Fatalf("%s caches=%v: a0 = %#x, want %#x (seed %d)",
+							model, caches, got, want, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialEncodeStability pins the generator: the same seed must
+// produce the same program bytes (so failures are reproducible).
+func TestDifferentialEncodeStability(t *testing.T) {
+	p1, err := isa.Assemble(genProgram(rand.New(rand.NewSource(7)), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := isa.Assemble(genProgram(rand.New(rand.NewSource(7)), 4))
+	if string(p1.Data) != string(p2.Data) {
+		t.Fatal("generator nondeterministic")
+	}
+	// And decodes to valid instructions throughout the text section.
+	for off := 0; off+4 <= len(p1.Data); off += 4 {
+		w := isa.Word(binary.LittleEndian.Uint32(p1.Data[off:]))
+		_ = isa.Decode(w)
+	}
+}

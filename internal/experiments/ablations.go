@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gem5prof/internal/core"
+	"gem5prof/internal/hostmodel"
+	"gem5prof/internal/platform"
+	"gem5prof/internal/uarch"
+)
+
+func init() {
+	register("ablations", runAblations)
+}
+
+// runAblations quantifies the design choices DESIGN.md §5 calls out, using
+// the O3/water_nsquared configuration on the Xeon as the probe.
+func runAblations(opt Options) (*Result, error) {
+	scale := 40
+	if !opt.Quick {
+		scale = parsecRepScale(opt)
+	}
+	probe := func(host uarch.Config, hc hostmodel.Config) (float64, error) {
+		r, err := core.RunSession(core.SessionConfig{
+			Guest: core.GuestConfig{
+				CPU: core.O3, Mode: core.SE,
+				Workload: "water_nsquared", Scale: scale,
+			},
+			Host:     host,
+			HostCode: hc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.SimSeconds(), nil
+	}
+
+	base, err := probe(platform.IntelXeon(), hostmodel.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "ablations",
+		Title: "Design-choice ablations (O3/water_nsquared on Intel_Xeon; ratio vs baseline time)",
+		Cols:  []string{"time-ratio"},
+	}
+	add := func(label string, t float64) {
+		res.Rows = append(res.Rows, Row{Label: label, Values: []float64{t / base}})
+	}
+	add("baseline", base)
+
+	// A1: no uop cache.
+	noDSB := platform.IntelXeon()
+	noDSB.DSBUops = 0
+	if t, err := probe(noDSB, hostmodel.Config{}); err == nil {
+		add("A1 no DSB", t)
+	} else {
+		return nil, err
+	}
+
+	// A2: VIPT constraint lifted — a 128KB 8-way L1I on 4KB pages.
+	bigL1 := platform.IntelXeon()
+	bigL1.L1I = uarch.CacheGeom{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64}
+	bigL1.SkipVIPTCheck = true
+	if t, err := probe(bigL1, hostmodel.Config{}); err == nil {
+		add("A2 non-VIPT 128KB L1I", t)
+	} else {
+		return nil, err
+	}
+
+	// A3: no memory-level parallelism overlap.
+	noMLP := platform.IntelXeon()
+	noMLP.MLPOverlap = 0
+	if t, err := probe(noMLP, hostmodel.Config{}); err == nil {
+		add("A3 no MLP overlap", t)
+	} else {
+		return nil, err
+	}
+
+	// A4: densely packed function layout instead of scattered.
+	packed := hostmodel.DefaultConfig()
+	packed.TextSlots = 2 // forces sequential overflow placement
+	if t, err := probe(platform.IntelXeon(), packed); err == nil {
+		add("A4 packed layout", t)
+	} else {
+		return nil, err
+	}
+
+	// A5: calendar event queue (guest-side; host time via co-sim).
+	calRun, err := core.RunSession(core.SessionConfig{
+		Guest: core.GuestConfig{
+			CPU: core.O3, Mode: core.SE,
+			Workload: "water_nsquared", Scale: scale, CalendarQueue: true,
+		},
+		Host: platform.IntelXeon(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	add("A5 calendar event queue", calRun.SimSeconds())
+
+	res.Notes = append(res.Notes,
+		"ratios > 1 mean slower than the baseline model",
+		"A4's layout effect on *total* time is small once the hot path is cache-resident; its impact concentrates in iTLB stalls (compare fig11)",
+		fmt.Sprintf("A2 shows what the VIPT page-size constraint costs the Xeon: %.2fx of baseline time with a 128KB L1I",
+			res.Rows[2].Values[0]),
+		"A5 must be ~1.0: the queue backend changes wall-clock, not modeled cycles",
+	)
+	return res, nil
+}

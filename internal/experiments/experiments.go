@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the co-simulation library. Each experiment returns a
+// Result whose rows mirror the series the paper plots; EXPERIMENTS.md
+// records the shape comparison against the published numbers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options tune experiment cost.
+type Options struct {
+	// Quick shrinks workload sets and problem sizes for use from unit
+	// tests and benchmarks. The full harness (cmd/experiments) leaves it
+	// false.
+	Quick bool
+}
+
+// Row is one labeled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	// Cols names Row values.
+	Cols []string
+	Rows []Row
+	// Notes carries prose observations (the claims to compare with the
+	// paper) and free-text renderings for the config tables.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		width := 26
+		fmt.Fprintf(&b, "%-*s", width, "")
+		for _, c := range r.Cols {
+			fmt.Fprintf(&b, " %14s", c)
+		}
+		b.WriteString("\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-*s", width, row.Label)
+			for _, v := range row.Values {
+				fmt.Fprintf(&b, " %14.4f", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  # %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment.
+type Runner func(opt Options) (*Result, error)
+
+var (
+	mu       sync.Mutex
+	registry = map[string]Runner{}
+)
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, opt Options) (*Result, error) {
+	mu.Lock()
+	r, ok := registry[id]
+	mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(opt)
+}
+
+// geomean returns the geometric mean of vs.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// pct converts a fraction to percent.
+func pct(v float64) float64 { return 100 * v }

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gem5prof/internal/core"
+	"gem5prof/internal/hostmodel"
+	"gem5prof/internal/platform"
+	"gem5prof/internal/uarch"
+)
+
+func init() {
+	register("fig10", runFig10)
+	register("fig11", runFig11)
+	register("fig12", runFig12)
+	register("fig13", runFig13)
+}
+
+// hugePageRun runs the PARSEC representative with a text-backing mode.
+func hugePageRun(opt Options, cpu core.CPUModel, hp uarch.HugePageMode) (*core.SessionResult, error) {
+	host := platform.IntelXeon()
+	host.HugePages = hp
+	return core.RunSession(core.SessionConfig{
+		Guest: core.GuestConfig{
+			CPU: cpu, Mode: core.SE,
+			Workload: "water_nsquared", Scale: parsecRepScale(opt),
+		},
+		Host: host,
+	})
+}
+
+// runFig10 reproduces Fig. 10: simulation speedup from backing gem5's code
+// with transparent (THP) and explicit (EHP) huge pages.
+func runFig10(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig10",
+		Title: "Speedup from huge-page code backing on Intel_Xeon (%)",
+		Cols:  []string{"THP-speedup-%", "EHP-speedup-%"},
+	}
+	var best float64
+	for _, cpu := range core.AllCPUModels {
+		base, err := hugePageRun(opt, cpu, uarch.PagesBase)
+		if err != nil {
+			return nil, err
+		}
+		thp, err := hugePageRun(opt, cpu, uarch.PagesTHP)
+		if err != nil {
+			return nil, err
+		}
+		ehp, err := hugePageRun(opt, cpu, uarch.PagesEHP)
+		if err != nil {
+			return nil, err
+		}
+		thpGain := pct(base.SimSeconds()/thp.SimSeconds() - 1)
+		ehpGain := pct(base.SimSeconds()/ehp.SimSeconds() - 1)
+		if thpGain > best {
+			best = thpGain
+		}
+		if ehpGain > best {
+			best = ehpGain
+		}
+		res.Rows = append(res.Rows, Row{Label: string(cpu), Values: []float64{thpGain, ehpGain}})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("best huge-page speedup %.1f%% (paper: up to 5.9%%; larger for detailed CPU models)", best),
+		"paper: no consistent winner between EHP and THP",
+	)
+	return res, nil
+}
+
+// runFig11 reproduces Fig. 11: iTLB overhead and retiring improvement from
+// THP.
+func runFig11(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig11",
+		Title: "THP effect on iTLB overhead and retiring cycles on Intel_Xeon",
+		Cols:  []string{"iTLB-overhead-reduction-%", "retiring-improvement-%"},
+	}
+	var reductions []float64
+	for _, cpu := range core.AllCPUModels {
+		base, err := hugePageRun(opt, cpu, uarch.PagesBase)
+		if err != nil {
+			return nil, err
+		}
+		thp, err := hugePageRun(opt, cpu, uarch.PagesTHP)
+		if err != nil {
+			return nil, err
+		}
+		reduction := 0.0
+		if b := base.Host.TopDown.FELatITLB; b > 0 {
+			reduction = pct(1 - thp.Host.TopDown.FELatITLB/b)
+		}
+		retireGain := pct(thp.Host.Level1.Retiring/base.Host.Level1.Retiring - 1)
+		reductions = append(reductions, reduction)
+		res.Rows = append(res.Rows, Row{Label: string(cpu), Values: []float64{reduction, retireGain}})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("mean iTLB overhead reduction %.0f%% (paper: 63%% on average)", meanf(reductions)),
+		"paper: 3..7%% improvement in retiring cycles for Minor/O3",
+	)
+	return res, nil
+}
+
+// runFig12 reproduces Fig. 12: speedup from compiling gem5 with -O3 (a
+// smaller binary) on each platform.
+func runFig12(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig12",
+		Title: "Speedup from the -O3 build (smaller code) per platform (%)",
+		Cols:  []string{"atomic-%", "o3-%", "mean-%"},
+	}
+	cpus := []core.CPUModel{core.Atomic, core.O3}
+	for _, host := range platform.TableIIPlatforms() {
+		var gains []float64
+		for _, cpu := range cpus {
+			gc := core.GuestConfig{CPU: cpu, Mode: core.SE,
+				Workload: "water_nsquared", Scale: parsecRepScale(opt)}
+			base, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host})
+			if err != nil {
+				return nil, err
+			}
+			o3b, err := core.RunSession(core.SessionConfig{
+				Guest: gc, Host: host,
+				HostCode: hostmodel.Config{SizeFactor: 0.97},
+			})
+			if err != nil {
+				return nil, err
+			}
+			gains = append(gains, pct(base.SimSeconds()/o3b.SimSeconds()-1))
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  host.Name,
+			Values: []float64{gains[0], gains[1], meanf(gains)},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: average speedups 1.38% (Xeon), 0.98% (M1_Pro), 0.78% (M1_Ultra); a few configurations regress",
+	)
+	return res, nil
+}
+
+// runFig13 reproduces Fig. 13: simulation time versus the Xeon's operating
+// frequency, normalized to 3.1 GHz.
+func runFig13(opt Options) (*Result, error) {
+	res := &Result{
+		ID:    "fig13",
+		Title: "Normalized simulation time vs Intel_Xeon frequency (3.1GHz = 1.0)",
+		Cols:  []string{"normalized-time"},
+	}
+	freqs := []float64{1.2, 1.6, 2.1, 2.6, 3.1, 4.1} // 4.1 = Turbo Boost
+	baseTime := 0.0
+	gc := core.GuestConfig{CPU: core.Timing, Mode: core.SE,
+		Workload: "water_nsquared", Scale: parsecRepScale(opt)}
+	times := make([]float64, len(freqs))
+	for i, f := range freqs {
+		host := platform.IntelXeon()
+		host.FreqGHz = f
+		r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host})
+		if err != nil {
+			return nil, err
+		}
+		times[i] = r.SimSeconds()
+		if f == 3.1 {
+			baseTime = r.SimSeconds()
+		}
+	}
+	for i, f := range freqs {
+		label := fmt.Sprintf("%.1fGHz", f)
+		if f == 4.1 {
+			label += " (TurboBoost)"
+		}
+		res.Rows = append(res.Rows, Row{Label: label, Values: []float64{times[i] / baseTime}})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("1.2GHz runs %.2fx slower than 3.1GHz (paper: 2.67x; near-linear in frequency)",
+			times[0]/baseTime),
+	)
+	return res, nil
+}

@@ -1,0 +1,172 @@
+// Package guest provides the simulated machine's physical memory and the
+// program loader. Data lives here functionally; the timing of accesses is
+// modeled separately by internal/mem.
+package guest
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+// PageBytes is the granularity of the sparse backing store.
+const PageBytes = 4096
+
+// Memory is a sparse physical memory of a fixed size. The zero page is
+// shared implicitly: unwritten pages read as zero.
+type Memory struct {
+	size  uint32
+	pages map[uint32]*[PageBytes]byte
+
+	// hostBase is the synthetic host address of the backing store, used to
+	// attribute host-level data traffic to guest memory.
+	hostBase uint64
+}
+
+// NewMemory returns a memory of size bytes (rounded up to a whole page).
+func NewMemory(size uint32) *Memory {
+	if size == 0 {
+		panic("guest: zero-size memory")
+	}
+	size = (size + PageBytes - 1) &^ (PageBytes - 1)
+	return &Memory{size: size, pages: make(map[uint32]*[PageBytes]byte)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return m.size }
+
+// SetHostBase records the synthetic host address of the backing store.
+func (m *Memory) SetHostBase(base uint64) { m.hostBase = base }
+
+// HostAddr translates a guest physical address to its synthetic host
+// address for the host data-traffic model.
+func (m *Memory) HostAddr(addr uint32) uint64 { return m.hostBase + uint64(addr) }
+
+// AccessError reports an out-of-range guest access.
+type AccessError struct {
+	Addr  uint32
+	Size  int
+	Write bool
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("guest: %s of %d bytes at %#x outside physical memory", kind, e.Size, e.Addr)
+}
+
+func (m *Memory) check(addr uint32, size int, write bool) error {
+	if size <= 0 || size > 8 {
+		return &AccessError{Addr: addr, Size: size, Write: write}
+	}
+	end := uint64(addr) + uint64(size)
+	if end > uint64(m.size) {
+		return &AccessError{Addr: addr, Size: size, Write: write}
+	}
+	return nil
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[PageBytes]byte {
+	idx := addr / PageBytes
+	p := m.pages[idx]
+	if p == nil && alloc {
+		p = new([PageBytes]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Read loads size bytes (1..8) little-endian at addr, zero-extended.
+func (m *Memory) Read(addr uint32, size int) (uint64, error) {
+	if err := m.check(addr, size, false); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		a := addr + uint32(i)
+		var b byte
+		if p := m.page(a, false); p != nil {
+			b = p[a%PageBytes]
+		}
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// Write stores the low size bytes (1..8) of v little-endian at addr.
+func (m *Memory) Write(addr uint32, size int, v uint64) error {
+	if err := m.check(addr, size, true); err != nil {
+		return err
+	}
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		m.page(a, true)[a%PageBytes] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint32, dst []byte) error {
+	if uint64(addr)+uint64(len(dst)) > uint64(m.size) {
+		return &AccessError{Addr: addr, Size: len(dst)}
+	}
+	for i := range dst {
+		a := addr + uint32(i)
+		if p := m.page(a, false); p != nil {
+			dst[i] = p[a%PageBytes]
+		} else {
+			dst[i] = 0
+		}
+	}
+	return nil
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, src []byte) error {
+	if uint64(addr)+uint64(len(src)) > uint64(m.size) {
+		return &AccessError{Addr: addr, Size: len(src), Write: true}
+	}
+	for i, b := range src {
+		a := addr + uint32(i)
+		m.page(a, true)[a%PageBytes] = b
+	}
+	return nil
+}
+
+// FetchWord reads one aligned instruction word at pc.
+func (m *Memory) FetchWord(pc uint32) (isa.Word, error) {
+	if pc%isa.InstBytes != 0 {
+		return 0, fmt.Errorf("guest: misaligned fetch at %#x", pc)
+	}
+	v, err := m.Read(pc, isa.InstBytes)
+	if err != nil {
+		return 0, err
+	}
+	return isa.Word(v), nil
+}
+
+// TouchedPages returns how many distinct pages have been written.
+func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// Load copies an assembled program image into memory.
+func (m *Memory) Load(p *isa.Program) error {
+	return m.WriteBytes(p.Base, p.Data)
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes at addr.
+func (m *Memory) ReadCString(addr uint32, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := m.Read(addr+uint32(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return string(out), nil
+}

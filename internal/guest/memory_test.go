@@ -1,0 +1,160 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gem5prof/internal/isa"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory(64 * 1024)
+	// Property: any (addr, size, value) in range round-trips.
+	f := func(addr uint16, size uint8, v uint64) bool {
+		s := int(size)%8 + 1
+		a := uint32(addr)
+		if err := m.Write(a, s, v); err != nil {
+			return false
+		}
+		got, err := m.Read(a, s)
+		if err != nil {
+			return false
+		}
+		mask := uint64(1)<<(8*s) - 1
+		if s == 8 {
+			mask = ^uint64(0)
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	m := NewMemory(4096)
+	if _, err := m.Read(4095, 4); err == nil {
+		t.Error("straddling read accepted")
+	}
+	if err := m.Write(4096, 1, 0); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, err := m.Read(0, 0); err == nil {
+		t.Error("zero-size read accepted")
+	}
+	if _, err := m.Read(0, 9); err == nil {
+		t.Error("oversize read accepted")
+	}
+	var ae *AccessError
+	_, err := m.Read(5000, 4)
+	if ae, _ = err.(*AccessError); ae == nil || ae.Addr != 5000 {
+		t.Errorf("error type: %v", err)
+	}
+	if ae.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestSparsePagesReadZero(t *testing.T) {
+	m := NewMemory(1 << 20)
+	v, err := m.Read(0x8000, 8)
+	if err != nil || v != 0 {
+		t.Fatalf("untouched memory = %#x, %v", v, err)
+	}
+	if m.TouchedPages() != 0 {
+		t.Fatal("read allocated pages")
+	}
+	_ = m.Write(0x8000, 1, 0xFF)
+	if m.TouchedPages() != 1 {
+		t.Fatal("write did not allocate exactly one page")
+	}
+}
+
+func TestBytesAcrossPageBoundary(t *testing.T) {
+	m := NewMemory(64 * 1024)
+	data := make([]byte, 3*PageBytes)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := m.WriteBytes(PageBytes/2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.ReadBytes(PageBytes/2, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	if err := m.WriteBytes(64*1024-2, []byte{1, 2, 3}); err == nil {
+		t.Fatal("overflowing WriteBytes accepted")
+	}
+	if err := m.ReadBytes(64*1024-2, got[:3]); err == nil {
+		t.Fatal("overflowing ReadBytes accepted")
+	}
+}
+
+func TestFetchWord(t *testing.T) {
+	m := NewMemory(4096)
+	w := isa.MustEncode(isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 7})
+	_ = m.Write(0x100, 4, uint64(w))
+	got, err := m.FetchWord(0x100)
+	if err != nil || got != w {
+		t.Fatalf("fetch = %#x, %v", got, err)
+	}
+	if _, err := m.FetchWord(0x102); err == nil {
+		t.Fatal("misaligned fetch accepted")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := NewMemory(1 << 20)
+	p, err := isa.Assemble("_start:\n nop\n ecall\ndata:\n .word 0xCAFEBABE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Read(p.Symbol("data"), 4)
+	if v != 0xCAFEBABE {
+		t.Fatalf("data = %#x", v)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	m := NewMemory(4096)
+	_ = m.WriteBytes(100, []byte("hello\x00world"))
+	s, err := m.ReadCString(100, 64)
+	if err != nil || s != "hello" {
+		t.Fatalf("cstring = %q, %v", s, err)
+	}
+	// Unterminated within max: returns what it saw.
+	s, err = m.ReadCString(106, 3)
+	if err != nil || s != "wor" {
+		t.Fatalf("truncated = %q, %v", s, err)
+	}
+}
+
+func TestHostAddr(t *testing.T) {
+	m := NewMemory(4096)
+	m.SetHostBase(0x7000_0000)
+	if m.HostAddr(0x123) != 0x7000_0123 {
+		t.Fatal("host addr wrong")
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	m := NewMemory(5000)
+	if m.Size() != 8192 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero size accepted")
+		}
+	}()
+	NewMemory(0)
+}

@@ -1,0 +1,101 @@
+package guest
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+)
+
+// MemoryImage is the serializable form of a Memory: only touched pages are
+// stored, base64-encoded, keyed by page index. It matches gem5's readable
+// checkpoint philosophy (the paper relies on checkpoints taken on one
+// platform being restored on another).
+type MemoryImage struct {
+	Size  uint32            `json:"size"`
+	Pages map[string]string `json:"pages"`
+}
+
+// Snapshot captures all touched pages.
+func (m *Memory) Snapshot() MemoryImage {
+	img := MemoryImage{Size: m.size, Pages: make(map[string]string, len(m.pages))}
+	for idx, page := range m.pages {
+		img.Pages[fmt.Sprintf("%d", idx)] = base64.StdEncoding.EncodeToString(page[:])
+	}
+	return img
+}
+
+// RestoreMemory rebuilds a Memory from a snapshot.
+func RestoreMemory(img MemoryImage) (*Memory, error) {
+	if img.Size == 0 {
+		return nil, fmt.Errorf("guest: snapshot has zero size")
+	}
+	m := NewMemory(img.Size)
+	for key, data := range img.Pages {
+		var idx uint32
+		if _, err := fmt.Sscanf(key, "%d", &idx); err != nil {
+			return nil, fmt.Errorf("guest: bad page key %q", key)
+		}
+		if uint64(idx)*PageBytes >= uint64(m.size) {
+			return nil, fmt.Errorf("guest: page %d outside memory", idx)
+		}
+		raw, err := base64.StdEncoding.DecodeString(data)
+		if err != nil {
+			return nil, fmt.Errorf("guest: page %d: %w", idx, err)
+		}
+		if len(raw) != PageBytes {
+			return nil, fmt.Errorf("guest: page %d has %d bytes", idx, len(raw))
+		}
+		p := new([PageBytes]byte)
+		copy(p[:], raw)
+		m.pages[idx] = p
+	}
+	return m, nil
+}
+
+// LoadImage replaces this memory's contents in place with the snapshot.
+// Sizes must match (the snapshot was taken from an identically configured
+// machine).
+func (m *Memory) LoadImage(img MemoryImage) error {
+	restored, err := RestoreMemory(img)
+	if err != nil {
+		return err
+	}
+	if restored.size != m.size {
+		return fmt.Errorf("guest: snapshot size %d != memory size %d", restored.size, m.size)
+	}
+	m.pages = restored.pages
+	return nil
+}
+
+// Equal reports whether two memories have identical contents (zero pages
+// compare equal to absent pages). Used by checkpoint tests.
+func (m *Memory) Equal(o *Memory) bool {
+	if m.size != o.size {
+		return false
+	}
+	keys := map[uint32]bool{}
+	for k := range m.pages {
+		keys[k] = true
+	}
+	for k := range o.pages {
+		keys[k] = true
+	}
+	idxs := make([]uint32, 0, len(keys))
+	for k := range keys {
+		idxs = append(idxs, k)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	zero := [PageBytes]byte{}
+	get := func(mm *Memory, k uint32) *[PageBytes]byte {
+		if p := mm.pages[k]; p != nil {
+			return p
+		}
+		return &zero
+	}
+	for _, k := range idxs {
+		if *get(m, k) != *get(o, k) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Context is the architectural state interface the executor operates on.
+// Each CPU model provides an implementation; the semantics in this file are
+// shared so that every model retires bit-identical results.
+type Context interface {
+	// ReadReg returns integer register r; r==0 must read as zero.
+	ReadReg(r uint8) uint32
+	// WriteReg sets integer register r; writes to r==0 must be dropped.
+	WriteReg(r uint8, v uint32)
+	// ReadFReg returns float register r.
+	ReadFReg(r uint8) float64
+	// WriteFReg sets float register r.
+	WriteFReg(r uint8, v float64)
+	// PC returns the address of the executing instruction.
+	PC() uint32
+	// ReadMem loads size bytes at addr (zero-extended into the result).
+	ReadMem(addr uint32, size int) (uint64, error)
+	// WriteMem stores the low size bytes of v at addr.
+	WriteMem(addr uint32, size int, v uint64) error
+	// ReadCSR returns machine CSR num.
+	ReadCSR(num uint32) uint32
+	// WriteCSR sets machine CSR num.
+	WriteCSR(num uint32, v uint32)
+	// Ecall handles an environment call (SE syscall or FS trap).
+	Ecall()
+	// Ebreak handles a breakpoint (workload exit in bare-metal programs).
+	Ebreak()
+	// Wfi handles wait-for-interrupt.
+	Wfi()
+	// Mret returns the PC to resume at after a machine-mode trap return.
+	Mret() uint32
+}
+
+// Outcome reports the side channel of one executed instruction, used by the
+// CPU models for PC redirection and pipeline bookkeeping.
+type Outcome struct {
+	// ControlTaken is true when the PC must be redirected to ControlTarget.
+	ControlTaken  bool
+	ControlTarget uint32
+	// HasMem is true for loads and stores; MemAddr is the effective address.
+	HasMem  bool
+	MemAddr uint32
+}
+
+// NextPC returns the address of the next instruction given the outcome.
+func (o Outcome) NextPC(pc uint32) uint32 {
+	if o.ControlTaken {
+		return o.ControlTarget
+	}
+	return pc + InstBytes
+}
+
+// EffAddr computes the effective address of a load or store without
+// executing it. It panics if in is not a memory instruction.
+func EffAddr(in Inst, ctx Context) uint32 {
+	if !in.IsMem() {
+		panic("isa: EffAddr on non-memory instruction " + in.Op.Name())
+	}
+	return ctx.ReadReg(in.Rs1) + uint32(in.Imm)
+}
+
+// StoreData returns the register value a store writes to memory.
+func StoreData(in Inst, ctx Context) uint64 {
+	switch in.Op {
+	case OpSb, OpSh, OpSw:
+		return uint64(ctx.ReadReg(in.Rs2))
+	case OpFsd:
+		return math.Float64bits(ctx.ReadFReg(in.Rs2))
+	}
+	panic("isa: StoreData on non-store " + in.Op.Name())
+}
+
+// CompleteLoad writes loaded data into the destination register, applying
+// size/sign conversion. Timing CPU models call this when the memory response
+// arrives.
+func CompleteLoad(in Inst, ctx Context, data uint64) {
+	switch in.Op {
+	case OpLb:
+		ctx.WriteReg(in.Rd, uint32(int32(int8(data))))
+	case OpLbu:
+		ctx.WriteReg(in.Rd, uint32(data&0xff))
+	case OpLh:
+		ctx.WriteReg(in.Rd, uint32(int32(int16(data))))
+	case OpLhu:
+		ctx.WriteReg(in.Rd, uint32(data&0xffff))
+	case OpLw:
+		ctx.WriteReg(in.Rd, uint32(data))
+	case OpFld:
+		ctx.WriteFReg(in.Rd, math.Float64frombits(data))
+	default:
+		panic("isa: CompleteLoad on non-load " + in.Op.Name())
+	}
+}
+
+// Execute runs one instruction to architectural completion against ctx,
+// including any memory access (atomic semantics). The PC register itself is
+// not advanced; callers use Outcome.NextPC.
+func Execute(in Inst, ctx Context) (Outcome, error) {
+	var out Outcome
+	r := ctx.ReadReg
+	w := ctx.WriteReg
+	pc := ctx.PC()
+
+	switch in.Op {
+	// Integer ALU.
+	case OpAdd:
+		w(in.Rd, r(in.Rs1)+r(in.Rs2))
+	case OpSub:
+		w(in.Rd, r(in.Rs1)-r(in.Rs2))
+	case OpAnd:
+		w(in.Rd, r(in.Rs1)&r(in.Rs2))
+	case OpOr:
+		w(in.Rd, r(in.Rs1)|r(in.Rs2))
+	case OpXor:
+		w(in.Rd, r(in.Rs1)^r(in.Rs2))
+	case OpSll:
+		w(in.Rd, r(in.Rs1)<<(r(in.Rs2)&31))
+	case OpSrl:
+		w(in.Rd, r(in.Rs1)>>(r(in.Rs2)&31))
+	case OpSra:
+		w(in.Rd, uint32(int32(r(in.Rs1))>>(r(in.Rs2)&31)))
+	case OpSlt:
+		w(in.Rd, b2u(int32(r(in.Rs1)) < int32(r(in.Rs2))))
+	case OpSltu:
+		w(in.Rd, b2u(r(in.Rs1) < r(in.Rs2)))
+	case OpMul:
+		w(in.Rd, r(in.Rs1)*r(in.Rs2))
+	case OpMulh:
+		w(in.Rd, uint32(uint64(int64(int32(r(in.Rs1)))*int64(int32(r(in.Rs2))))>>32))
+	case OpDiv:
+		w(in.Rd, divS(int32(r(in.Rs1)), int32(r(in.Rs2))))
+	case OpDivu:
+		w(in.Rd, divU(r(in.Rs1), r(in.Rs2)))
+	case OpRem:
+		w(in.Rd, remS(int32(r(in.Rs1)), int32(r(in.Rs2))))
+	case OpRemu:
+		w(in.Rd, remU(r(in.Rs1), r(in.Rs2)))
+
+	// Immediate ALU.
+	case OpAddi:
+		w(in.Rd, r(in.Rs1)+uint32(in.Imm))
+	case OpAndi:
+		w(in.Rd, r(in.Rs1)&uint32(in.Imm))
+	case OpOri:
+		w(in.Rd, r(in.Rs1)|uint32(in.Imm))
+	case OpXori:
+		w(in.Rd, r(in.Rs1)^uint32(in.Imm))
+	case OpSlli:
+		w(in.Rd, r(in.Rs1)<<(uint32(in.Imm)&31))
+	case OpSrli:
+		w(in.Rd, r(in.Rs1)>>(uint32(in.Imm)&31))
+	case OpSrai:
+		w(in.Rd, uint32(int32(r(in.Rs1))>>(uint32(in.Imm)&31)))
+	case OpSlti:
+		w(in.Rd, b2u(int32(r(in.Rs1)) < in.Imm))
+	case OpSltiu:
+		w(in.Rd, b2u(r(in.Rs1) < uint32(in.Imm)))
+	case OpLui:
+		w(in.Rd, uint32(in.Imm)<<12)
+	case OpAuipc:
+		w(in.Rd, pc+uint32(in.Imm)<<12)
+
+	// Memory.
+	case OpLb, OpLbu, OpLh, OpLhu, OpLw, OpFld:
+		addr := EffAddr(in, ctx)
+		out.HasMem, out.MemAddr = true, addr
+		data, err := ctx.ReadMem(addr, in.MemSize())
+		if err != nil {
+			return out, err
+		}
+		CompleteLoad(in, ctx, data)
+	case OpSb, OpSh, OpSw, OpFsd:
+		addr := EffAddr(in, ctx)
+		out.HasMem, out.MemAddr = true, addr
+		if err := ctx.WriteMem(addr, in.MemSize(), StoreData(in, ctx)); err != nil {
+			return out, err
+		}
+
+	// Control.
+	case OpBeq:
+		out = branch(pc, in.Imm, r(in.Rs1) == r(in.Rs2))
+	case OpBne:
+		out = branch(pc, in.Imm, r(in.Rs1) != r(in.Rs2))
+	case OpBlt:
+		out = branch(pc, in.Imm, int32(r(in.Rs1)) < int32(r(in.Rs2)))
+	case OpBge:
+		out = branch(pc, in.Imm, int32(r(in.Rs1)) >= int32(r(in.Rs2)))
+	case OpBltu:
+		out = branch(pc, in.Imm, r(in.Rs1) < r(in.Rs2))
+	case OpBgeu:
+		out = branch(pc, in.Imm, r(in.Rs1) >= r(in.Rs2))
+	case OpJal:
+		w(in.Rd, pc+InstBytes)
+		out.ControlTaken = true
+		out.ControlTarget = pc + uint32(in.Imm)*InstBytes
+	case OpJalr:
+		target := (r(in.Rs1) + uint32(in.Imm)) &^ 3
+		w(in.Rd, pc+InstBytes)
+		out.ControlTaken = true
+		out.ControlTarget = target
+
+	// Floating point.
+	case OpFadd:
+		ctx.WriteFReg(in.Rd, ctx.ReadFReg(in.Rs1)+ctx.ReadFReg(in.Rs2))
+	case OpFsub:
+		ctx.WriteFReg(in.Rd, ctx.ReadFReg(in.Rs1)-ctx.ReadFReg(in.Rs2))
+	case OpFmul:
+		ctx.WriteFReg(in.Rd, ctx.ReadFReg(in.Rs1)*ctx.ReadFReg(in.Rs2))
+	case OpFdiv:
+		ctx.WriteFReg(in.Rd, ctx.ReadFReg(in.Rs1)/ctx.ReadFReg(in.Rs2))
+	case OpFsqrt:
+		ctx.WriteFReg(in.Rd, math.Sqrt(ctx.ReadFReg(in.Rs1)))
+	case OpFmin:
+		ctx.WriteFReg(in.Rd, math.Min(ctx.ReadFReg(in.Rs1), ctx.ReadFReg(in.Rs2)))
+	case OpFmax:
+		ctx.WriteFReg(in.Rd, math.Max(ctx.ReadFReg(in.Rs1), ctx.ReadFReg(in.Rs2)))
+	case OpFabs:
+		ctx.WriteFReg(in.Rd, math.Abs(ctx.ReadFReg(in.Rs1)))
+	case OpFneg:
+		ctx.WriteFReg(in.Rd, -ctx.ReadFReg(in.Rs1))
+	case OpFmv:
+		ctx.WriteFReg(in.Rd, ctx.ReadFReg(in.Rs1))
+	case OpFcvtDW:
+		ctx.WriteFReg(in.Rd, float64(int32(r(in.Rs1))))
+	case OpFcvtWD:
+		w(in.Rd, uint32(int32(ctx.ReadFReg(in.Rs1))))
+	case OpFeq:
+		w(in.Rd, b2u(ctx.ReadFReg(in.Rs1) == ctx.ReadFReg(in.Rs2)))
+	case OpFlt:
+		w(in.Rd, b2u(ctx.ReadFReg(in.Rs1) < ctx.ReadFReg(in.Rs2)))
+	case OpFle:
+		w(in.Rd, b2u(ctx.ReadFReg(in.Rs1) <= ctx.ReadFReg(in.Rs2)))
+
+	// System.
+	case OpEcall:
+		ctx.Ecall()
+	case OpEbreak:
+		ctx.Ebreak()
+	case OpCsrrw:
+		old := ctx.ReadCSR(uint32(in.Imm) & 0x7fff)
+		ctx.WriteCSR(uint32(in.Imm)&0x7fff, r(in.Rs1))
+		w(in.Rd, old)
+	case OpCsrrs:
+		old := ctx.ReadCSR(uint32(in.Imm) & 0x7fff)
+		if in.Rs1 != 0 {
+			ctx.WriteCSR(uint32(in.Imm)&0x7fff, old|r(in.Rs1))
+		}
+		w(in.Rd, old)
+	case OpWfi:
+		ctx.Wfi()
+	case OpMret:
+		out.ControlTaken = true
+		out.ControlTarget = ctx.Mret()
+
+	default:
+		return out, fmt.Errorf("isa: illegal instruction %#x at pc %#x", uint8(in.Op), pc)
+	}
+	return out, nil
+}
+
+func branch(pc uint32, imm int32, taken bool) Outcome {
+	return Outcome{ControlTaken: taken, ControlTarget: pc + uint32(imm)*InstBytes}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func divS(a, b int32) uint32 {
+	switch {
+	case b == 0:
+		return ^uint32(0)
+	case a == math.MinInt32 && b == -1:
+		return uint32(a)
+	default:
+		return uint32(a / b)
+	}
+}
+
+func divU(a, b uint32) uint32 {
+	if b == 0 {
+		return ^uint32(0)
+	}
+	return a / b
+}
+
+func remS(a, b int32) uint32 {
+	switch {
+	case b == 0:
+		return uint32(a)
+	case a == math.MinInt32 && b == -1:
+		return 0
+	default:
+		return uint32(a % b)
+	}
+}
+
+func remU(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

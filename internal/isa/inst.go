@@ -1,0 +1,258 @@
+package isa
+
+import "fmt"
+
+// Word is one encoded KISA instruction.
+type Word uint32
+
+// InstBytes is the size of every KISA instruction in memory.
+const InstBytes = 4
+
+// Encoding layout. All instructions place the 7-bit opcode in bits [31:25].
+// The remaining 25 bits are format specific; see Format constants.
+const (
+	opShift   = 25
+	aShift    = 20 // rd (R/I/U/J), rs2 (S), rs1 (B)
+	bShift    = 15 // rs1 (R/I/S), rs2 (B)
+	cShift    = 10 // rs2 (R)
+	regMask   = 0x1f
+	imm15Bits = 15
+	imm20Bits = 20
+)
+
+// Immediate ranges by format.
+const (
+	MaxImm15 = 1<<(imm15Bits-1) - 1
+	MinImm15 = -(1 << (imm15Bits - 1))
+	MaxImm20 = 1<<(imm20Bits-1) - 1
+	MinImm20 = -(1 << (imm20Bits - 1))
+)
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// info returns the opcode metadata.
+func (i Inst) info() *opInfo { return &opTable[i.Op] }
+
+// IsLoad reports whether the instruction reads memory.
+func (i Inst) IsLoad() bool { return i.info().isLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (i Inst) IsStore() bool { return i.info().isStore }
+
+// IsMem reports whether the instruction accesses memory.
+func (i Inst) IsMem() bool { return i.info().isLoad || i.info().isStore }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.info().isBranch }
+
+// IsJump reports whether the instruction is an unconditional control transfer.
+func (i Inst) IsJump() bool { return i.info().isJump }
+
+// IsControl reports whether the instruction can redirect the PC.
+func (i Inst) IsControl() bool { return i.info().isBranch || i.info().isJump }
+
+// IsIndirect reports whether the control target comes from a register.
+func (i Inst) IsIndirect() bool { return i.Op == OpJalr || i.Op == OpMret }
+
+// IsSystem reports whether the instruction is a system instruction.
+func (i Inst) IsSystem() bool { return i.info().isSystem }
+
+// MemSize returns the bytes moved by a load/store (0 otherwise).
+func (i Inst) MemSize() int { return int(i.info().memSize) }
+
+// Class returns the functional-unit class.
+func (i Inst) Class() Class { return i.info().class }
+
+// RegID names one architectural register across both files: integer
+// registers are 0..31, float registers are 32..63.
+type RegID uint8
+
+// Register-file split for RegID values.
+const (
+	IntRegBase  RegID = 0
+	FpRegBase   RegID = 32
+	NumArchRegs       = 64
+)
+
+// InvalidReg is returned when an operand slot is unused.
+const InvalidReg RegID = 255
+
+// Dest returns the destination register of the instruction, or InvalidReg.
+// Writes to x0 are reported as InvalidReg since they are architectural
+// no-ops.
+func (i Inst) Dest() RegID {
+	in := i.info()
+	if !in.writesRd {
+		return InvalidReg
+	}
+	if in.fpRd {
+		return FpRegBase + RegID(i.Rd)
+	}
+	if i.Rd == 0 {
+		return InvalidReg
+	}
+	return RegID(i.Rd)
+}
+
+// Srcs appends the source registers of the instruction to dst and returns
+// it. Reads of x0 are included (they are real reads of a zero register).
+func (i Inst) Srcs(dst []RegID) []RegID {
+	in := i.info()
+	if in.readsRs1 {
+		if in.fpRs1 {
+			dst = append(dst, FpRegBase+RegID(i.Rs1))
+		} else {
+			dst = append(dst, RegID(i.Rs1))
+		}
+	}
+	if in.readsRs2 {
+		if in.fpRs2 {
+			dst = append(dst, FpRegBase+RegID(i.Rs2))
+		} else {
+			dst = append(dst, RegID(i.Rs2))
+		}
+	}
+	return dst
+}
+
+// Decode decodes an instruction word. Unknown opcodes decode to an Inst with
+// Op == OpInvalid.
+func Decode(w Word) Inst {
+	op := Op(w >> opShift)
+	if int(op) >= NumOps {
+		return Inst{Op: OpInvalid}
+	}
+	var in Inst
+	in.Op = op
+	a := uint8(w >> aShift & regMask)
+	b := uint8(w >> bShift & regMask)
+	switch op.Format() {
+	case FmtR:
+		in.Rd = a
+		in.Rs1 = b
+		in.Rs2 = uint8(w >> cShift & regMask)
+	case FmtI:
+		in.Rd = a
+		in.Rs1 = b
+		in.Imm = signExtend(uint32(w)&0x7fff, imm15Bits)
+	case FmtS:
+		in.Rs2 = a
+		in.Rs1 = b
+		in.Imm = signExtend(uint32(w)&0x7fff, imm15Bits)
+	case FmtB:
+		in.Rs1 = a
+		in.Rs2 = b
+		in.Imm = signExtend(uint32(w)&0x7fff, imm15Bits)
+	case FmtU, FmtJ:
+		in.Rd = a
+		in.Imm = signExtend(uint32(w)&0xfffff, imm20Bits)
+	}
+	return in
+}
+
+// Encode encodes an instruction, validating register indices and immediate
+// ranges.
+func Encode(in Inst) (Word, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode invalid opcode %d", in.Op)
+	}
+	if in.Rd > 31 || in.Rs1 > 31 || in.Rs2 > 31 {
+		return 0, fmt.Errorf("isa: %s register index out of range", in.Op.Name())
+	}
+	w := Word(in.Op) << opShift
+	switch in.Op.Format() {
+	case FmtR:
+		if in.Imm != 0 {
+			return 0, fmt.Errorf("isa: %s takes no immediate", in.Op.Name())
+		}
+		w |= Word(in.Rd)<<aShift | Word(in.Rs1)<<bShift | Word(in.Rs2)<<cShift
+	case FmtI:
+		if in.Imm < MinImm15 || in.Imm > MaxImm15 {
+			return 0, fmt.Errorf("isa: %s immediate %d out of range", in.Op.Name(), in.Imm)
+		}
+		w |= Word(in.Rd)<<aShift | Word(in.Rs1)<<bShift | Word(uint32(in.Imm)&0x7fff)
+	case FmtS:
+		if in.Imm < MinImm15 || in.Imm > MaxImm15 {
+			return 0, fmt.Errorf("isa: %s immediate %d out of range", in.Op.Name(), in.Imm)
+		}
+		w |= Word(in.Rs2)<<aShift | Word(in.Rs1)<<bShift | Word(uint32(in.Imm)&0x7fff)
+	case FmtB:
+		if in.Imm < MinImm15 || in.Imm > MaxImm15 {
+			return 0, fmt.Errorf("isa: %s offset %d out of range", in.Op.Name(), in.Imm)
+		}
+		w |= Word(in.Rs1)<<aShift | Word(in.Rs2)<<bShift | Word(uint32(in.Imm)&0x7fff)
+	case FmtU, FmtJ:
+		if in.Imm < MinImm20 || in.Imm > MaxImm20 {
+			return 0, fmt.Errorf("isa: %s immediate %d out of range", in.Op.Name(), in.Imm)
+		}
+		w |= Word(in.Rd)<<aShift | Word(uint32(in.Imm)&0xfffff)
+	}
+	return w, nil
+}
+
+// MustEncode encodes an instruction and panics on error. It is intended for
+// program builders whose operands are known constants.
+func MustEncode(in Inst) Word {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	in := i.info()
+	switch i.Op.Format() {
+	case FmtR:
+		switch {
+		case in.readsRs2:
+			return fmt.Sprintf("%s %s, %s, %s", in.name, regName(i.Rd, in.fpRd), regName(i.Rs1, in.fpRs1), regName(i.Rs2, in.fpRs2))
+		case in.readsRs1:
+			return fmt.Sprintf("%s %s, %s", in.name, regName(i.Rd, in.fpRd), regName(i.Rs1, in.fpRs1))
+		default:
+			return in.name
+		}
+	case FmtI:
+		switch {
+		case in.isLoad:
+			return fmt.Sprintf("%s %s, %d(%s)", in.name, regName(i.Rd, in.fpRd), i.Imm, regName(i.Rs1, false))
+		case i.Op == OpJalr:
+			return fmt.Sprintf("%s %s, %d(%s)", in.name, regName(i.Rd, false), i.Imm, regName(i.Rs1, false))
+		case i.Op == OpCsrrw || i.Op == OpCsrrs:
+			return fmt.Sprintf("%s %s, %#x, %s", in.name, regName(i.Rd, false), uint32(i.Imm), regName(i.Rs1, false))
+		case in.readsRs1:
+			return fmt.Sprintf("%s %s, %s, %d", in.name, regName(i.Rd, false), regName(i.Rs1, false), i.Imm)
+		default:
+			return in.name
+		}
+	case FmtS:
+		return fmt.Sprintf("%s %s, %d(%s)", in.name, regName(i.Rs2, in.fpRs2), i.Imm, regName(i.Rs1, false))
+	case FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", in.name, regName(i.Rs1, false), regName(i.Rs2, false), i.Imm)
+	case FmtU:
+		return fmt.Sprintf("%s %s, %#x", in.name, regName(i.Rd, false), uint32(i.Imm)&0xfffff)
+	case FmtJ:
+		return fmt.Sprintf("%s %s, %d", in.name, regName(i.Rd, false), i.Imm)
+	}
+	return in.name
+}
+
+func regName(r uint8, fp bool) string {
+	if fp {
+		return fmt.Sprintf("f%d", r)
+	}
+	return fmt.Sprintf("x%d", r)
+}

@@ -1,0 +1,372 @@
+package mem
+
+import (
+	"fmt"
+
+	"gem5prof/internal/sim"
+)
+
+// CacheConfig sets the geometry and timing of one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  uint32
+	Ways       int
+	BlockBytes uint32
+	// HitLatency is charged on the request path for every lookup.
+	HitLatency sim.Tick
+	// ResponseLatency is charged on the fill path of a miss.
+	ResponseLatency sim.Tick
+	// MSHRs bounds outstanding distinct misses; further misses queue.
+	MSHRs int
+	// NextLine enables a next-line prefetcher on misses.
+	NextLine bool
+	// Stride enables a constant-stride prefetcher (detects the demand
+	// stream's block stride and runs one block ahead). Mutually exclusive
+	// with NextLine.
+	Stride bool
+}
+
+func (c *CacheConfig) validate() {
+	switch {
+	case c.SizeBytes == 0 || c.Ways <= 0 || c.BlockBytes == 0:
+		panic(fmt.Sprintf("mem: cache %s: zero geometry", c.Name))
+	case c.BlockBytes&(c.BlockBytes-1) != 0:
+		panic(fmt.Sprintf("mem: cache %s: block size not a power of two", c.Name))
+	case c.SizeBytes%(uint32(c.Ways)*c.BlockBytes) != 0:
+		panic(fmt.Sprintf("mem: cache %s: size %d not divisible by ways*block", c.Name, c.SizeBytes))
+	case c.MSHRs <= 0:
+		panic(fmt.Sprintf("mem: cache %s: need at least one MSHR", c.Name))
+	case c.NextLine && c.Stride:
+		panic(fmt.Sprintf("mem: cache %s: NextLine and Stride are exclusive", c.Name))
+	}
+	sets := c.SizeBytes / (uint32(c.Ways) * c.BlockBytes)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s: set count %d not a power of two", c.Name, sets))
+	}
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-use sequence number
+}
+
+type mshr struct {
+	blockAddr uint32
+	write     bool // any coalesced writer
+	waiters   []func()
+	prefetch  bool
+}
+
+type pendingReq struct {
+	acc  Access
+	done func()
+}
+
+// Cache is one level of a classic write-back, write-allocate cache with LRU
+// replacement and a bounded MSHR file.
+type Cache struct {
+	sys  *sim.System
+	cfg  CacheConfig
+	next Port
+
+	sets    [][]cacheLine
+	numSets uint32
+	lruSeq  uint64
+
+	mshrs   map[uint32]*mshr
+	pending []pendingReq
+
+	// Stride-prefetcher state: last demand block, last delta, confidence.
+	strideLast  uint32
+	strideDelta int32
+	strideConf  int
+
+	// Host model attribution.
+	fnAccess    sim.FuncID
+	fnFill      sim.FuncID
+	fnWriteback sim.FuncID
+	tagHostBase uint64
+
+	// Statistics.
+	hits       *sim.Counter
+	misses     *sim.Counter
+	mshrHits   *sim.Counter
+	writebacks *sim.Counter
+	prefetches *sim.Counter
+}
+
+// NewCache builds a cache in sys that forwards misses to next.
+func NewCache(sys *sim.System, cfg CacheConfig, next Port) *Cache {
+	cfg.validate()
+	if next == nil {
+		panic("mem: cache needs a downstream port")
+	}
+	numSets := cfg.SizeBytes / (uint32(cfg.Ways) * cfg.BlockBytes)
+	c := &Cache{
+		sys:     sys,
+		cfg:     cfg,
+		next:    next,
+		numSets: numSets,
+		sets:    make([][]cacheLine, numSets),
+		mshrs:   make(map[uint32]*mshr),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	tr := sys.Tracer()
+	c.fnAccess = tr.RegisterFunc(cfg.Name+"::access", 1400, sim.FuncVirtual|sim.FuncHot)
+	c.fnFill = tr.RegisterFunc(cfg.Name+"::handleFill", 1100, sim.FuncVirtual)
+	c.fnWriteback = tr.RegisterFunc(cfg.Name+"::writebackBlk", 700, sim.FuncVirtual)
+	c.tagHostBase = tr.AllocData(cfg.Name+".tags", uint64(numSets)*uint64(cfg.Ways)*16)
+	st := sys.Stats()
+	c.hits = st.Counter(cfg.Name+".hits", "demand hits")
+	c.misses = st.Counter(cfg.Name+".misses", "demand misses")
+	c.mshrHits = st.Counter(cfg.Name+".mshrHits", "misses coalesced into an MSHR")
+	c.writebacks = st.Counter(cfg.Name+".writebacks", "dirty blocks written back")
+	c.prefetches = st.Counter(cfg.Name+".prefetches", "prefetch fills issued")
+	sys.Register(c)
+	return c
+}
+
+// Name implements sim.SimObject.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Hits returns the demand hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Count() }
+
+// Misses returns the demand miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Count() }
+
+// Writebacks returns the dirty eviction count.
+func (c *Cache) Writebacks() uint64 { return c.writebacks.Count() }
+
+// MissRate returns misses / (hits+misses), or 0 with no traffic.
+func (c *Cache) MissRate() float64 {
+	total := c.hits.Count() + c.misses.Count()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses.Count()) / float64(total)
+}
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
+	block := blockAlign(addr, c.cfg.BlockBytes)
+	set = (block / c.cfg.BlockBytes) & (c.numSets - 1)
+	tag = block / (c.cfg.BlockBytes * c.numSets)
+	return set, tag
+}
+
+// lookup returns the line holding addr, or nil.
+func (c *Cache) lookup(addr uint32) *cacheLine {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			return &lines[i]
+		}
+	}
+	return nil
+}
+
+// touch marks a line most-recently-used.
+func (c *Cache) touch(l *cacheLine) {
+	c.lruSeq++
+	l.lru = c.lruSeq
+}
+
+// victim returns the LRU line of addr's set, preferring invalid lines.
+func (c *Cache) victim(addr uint32) *cacheLine {
+	set, _ := c.index(addr)
+	lines := c.sets[set]
+	best := &lines[0]
+	for i := range lines {
+		l := &lines[i]
+		if !l.valid {
+			return l
+		}
+		if l.lru < best.lru {
+			best = l
+		}
+	}
+	return best
+}
+
+// traceTagProbe models the host-side tag array read for one lookup.
+func (c *Cache) traceTagProbe(addr uint32) {
+	set, _ := c.index(addr)
+	c.sys.Tracer().Data(c.tagHostBase+uint64(set)*uint64(c.cfg.Ways)*16, 16, false)
+}
+
+// fill installs addr's block, evicting the LRU victim. Dirty victims are
+// written back downstream. mode distinguishes timing from atomic traffic.
+func (c *Cache) fill(addr uint32, dirty bool, atomic bool) (wbLatency sim.Tick) {
+	v := c.victim(addr)
+	if v.valid && v.dirty {
+		c.writebacks.Inc()
+		c.sys.Tracer().Call(c.fnWriteback)
+		wb := Access{
+			Addr:  (v.tag*c.numSets + (blockAlign(addr, c.cfg.BlockBytes)/c.cfg.BlockBytes)&(c.numSets-1)) * c.cfg.BlockBytes,
+			Size:  uint8(c.cfg.BlockBytes),
+			Write: true,
+		}
+		if atomic {
+			wbLatency = c.next.AtomicLatency(wb)
+		} else {
+			c.next.SendTiming(wb, nil)
+		}
+	}
+	_, tag := c.index(addr)
+	v.tag = tag
+	v.valid = true
+	v.dirty = dirty
+	c.touch(v)
+	c.sys.Tracer().Call(c.fnFill)
+	return wbLatency
+}
+
+// AtomicLatency implements Port.
+func (c *Cache) AtomicLatency(acc Access) sim.Tick {
+	c.sys.Tracer().Call(c.fnAccess)
+	c.traceTagProbe(acc.Addr)
+	if l := c.lookup(acc.Addr); l != nil {
+		c.hits.Inc()
+		c.touch(l)
+		if acc.Write {
+			l.dirty = true
+		}
+		return c.cfg.HitLatency
+	}
+	c.misses.Inc()
+	lat := c.cfg.HitLatency
+	fetch := Access{Addr: blockAlign(acc.Addr, c.cfg.BlockBytes), Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst}
+	lat += c.next.AtomicLatency(fetch)
+	lat += c.fill(acc.Addr, acc.Write, true)
+	lat += c.cfg.ResponseLatency
+	return lat
+}
+
+// SendTiming implements Port.
+func (c *Cache) SendTiming(acc Access, done func()) {
+	c.sys.Tracer().Call(c.fnAccess)
+	c.traceTagProbe(acc.Addr)
+	if done == nil {
+		done = func() {}
+	}
+	if l := c.lookup(acc.Addr); l != nil {
+		c.hits.Inc()
+		c.touch(l)
+		if acc.Write {
+			l.dirty = true
+		}
+		ev := sim.NewEvent(c.cfg.Name+".hitResp", c.fnAccess, done)
+		c.sys.ScheduleIn(ev, c.cfg.HitLatency)
+		return
+	}
+	c.startMiss(acc, done)
+}
+
+func (c *Cache) startMiss(acc Access, done func()) {
+	block := blockAlign(acc.Addr, c.cfg.BlockBytes)
+	if m, ok := c.mshrs[block]; ok {
+		// Coalesce into the outstanding miss.
+		c.mshrHits.Inc()
+		m.write = m.write || acc.Write
+		m.waiters = append(m.waiters, done)
+		if m.prefetch {
+			// A demand access hit a prefetch MSHR: count the demand miss.
+			m.prefetch = false
+			c.misses.Inc()
+		}
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		// MSHR file full: queue until one frees.
+		c.pending = append(c.pending, pendingReq{acc: acc, done: done})
+		return
+	}
+	c.misses.Inc()
+	c.allocMSHR(acc, done, false)
+}
+
+func (c *Cache) allocMSHR(acc Access, done func(), prefetch bool) {
+	block := blockAlign(acc.Addr, c.cfg.BlockBytes)
+	m := &mshr{blockAddr: block, write: acc.Write, prefetch: prefetch}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	c.mshrs[block] = m
+	fetch := Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst}
+	c.sys.ScheduleIn(sim.NewEvent(c.cfg.Name+".missFwd", c.fnAccess, func() {
+		c.next.SendTiming(fetch, func() { c.handleFill(m) })
+	}), c.cfg.HitLatency)
+	if !prefetch {
+		switch {
+		case c.cfg.NextLine:
+			c.maybePrefetch(block+c.cfg.BlockBytes, acc.Inst)
+		case c.cfg.Stride:
+			if target, ok := c.observeStride(block); ok {
+				c.maybePrefetch(target, acc.Inst)
+			}
+		}
+	}
+}
+
+// observeStride trains the stride detector on a demand miss block and
+// returns a prefetch target once the stride repeats.
+func (c *Cache) observeStride(block uint32) (uint32, bool) {
+	delta := int32(block) - int32(c.strideLast)
+	if delta != 0 && delta == c.strideDelta {
+		if c.strideConf < 4 {
+			c.strideConf++
+		}
+	} else {
+		c.strideDelta = delta
+		c.strideConf = 0
+	}
+	c.strideLast = block
+	if c.strideConf >= 1 {
+		return uint32(int32(block) + c.strideDelta), true
+	}
+	return 0, false
+}
+
+// maybePrefetch issues a next-line prefetch when the block is absent and an
+// MSHR is available.
+func (c *Cache) maybePrefetch(addr uint32, inst bool) {
+	if c.lookup(addr) != nil {
+		return
+	}
+	block := blockAlign(addr, c.cfg.BlockBytes)
+	if _, ok := c.mshrs[block]; ok {
+		return
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return
+	}
+	c.prefetches.Inc()
+	c.allocMSHR(Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Inst: inst}, nil, true)
+}
+
+func (c *Cache) handleFill(m *mshr) {
+	delete(c.mshrs, m.blockAddr)
+	c.fill(m.blockAddr, m.write, false)
+	for _, w := range m.waiters {
+		ev := sim.NewEvent(c.cfg.Name+".fillResp", c.fnFill, w)
+		c.sys.ScheduleIn(ev, c.cfg.ResponseLatency)
+	}
+	// Service a queued request now that an MSHR is free.
+	if len(c.pending) > 0 && len(c.mshrs) < c.cfg.MSHRs {
+		p := c.pending[0]
+		c.pending = c.pending[1:]
+		// Re-probe: the fill may have satisfied it.
+		c.SendTiming(p.acc, p.done)
+	}
+}
+
+// OutstandingMisses returns the number of allocated MSHRs (tests).
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

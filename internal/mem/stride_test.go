@@ -1,0 +1,43 @@
+package mem
+
+import (
+	"testing"
+
+	"gem5prof/internal/sim"
+)
+
+func TestStridePrefetcher(t *testing.T) {
+	sys := sim.NewSystem(1)
+	stub := &stubPort{sys: sys, latency: 100}
+	cfg := testCacheCfg("l1s")
+	cfg.Stride = true
+	cfg.MSHRs = 4
+	c := NewCache(sys, cfg, stub)
+	// Strided demand stream: blocks 0, 128, 256, ... (stride 2 blocks).
+	for i := uint32(0); i < 3; i++ {
+		c.SendTiming(Access{Addr: i * 128, Size: 4}, func() {})
+		sys.Run(sim.MaxTick, 0)
+	}
+	if c.prefetches.Count() == 0 {
+		t.Fatal("stride prefetcher never fired")
+	}
+	// The next strided block should have been prefetched.
+	before := c.Misses()
+	lat := c.AtomicLatency(Access{Addr: 3 * 128, Size: 4})
+	if lat != cfg.HitLatency || c.Misses() != before {
+		t.Fatalf("strided block missed (lat=%d)", lat)
+	}
+}
+
+func TestStrideNextLineExclusive(t *testing.T) {
+	sys := sim.NewSystem(1)
+	cfg := testCacheCfg("bad")
+	cfg.Stride = true
+	cfg.NextLine = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exclusive prefetchers accepted")
+		}
+	}()
+	NewCache(sys, cfg, &stubPort{sys: sys})
+}

@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"testing"
+
+	"gem5prof/internal/sim"
+)
+
+func newTestTLB(t *testing.T, entries int) (*sim.System, *TLB, *stubPort) {
+	t.Helper()
+	sys := sim.NewSystem(1)
+	stub := &stubPort{sys: sys, latency: 10}
+	tlb := NewTLB(sys, TLBConfig{
+		Name: "itb", Entries: entries, PageBytes: 4096, MissLatency: 100,
+	}, stub)
+	return sys, tlb, stub
+}
+
+func TestTLBAtomicHitMiss(t *testing.T) {
+	_, tlb, _ := newTestTLB(t, 4)
+	// Cold: walk + downstream.
+	if lat := tlb.AtomicLatency(Access{Addr: 0x1000, Size: 4}); lat != 100+10 {
+		t.Fatalf("cold = %d", lat)
+	}
+	// Same page: hit.
+	if lat := tlb.AtomicLatency(Access{Addr: 0x1FFC, Size: 4}); lat != 10 {
+		t.Fatalf("warm = %d", lat)
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", tlb.Hits(), tlb.Misses())
+	}
+	if tlb.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", tlb.MissRate())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	_, tlb, _ := newTestTLB(t, 2)
+	tlb.AtomicLatency(Access{Addr: 0x1000, Size: 4})
+	tlb.AtomicLatency(Access{Addr: 0x2000, Size: 4})
+	tlb.AtomicLatency(Access{Addr: 0x1000, Size: 4}) // page 1 MRU
+	tlb.AtomicLatency(Access{Addr: 0x3000, Size: 4}) // evicts page 2
+	if lat := tlb.AtomicLatency(Access{Addr: 0x2000, Size: 4}); lat != 110 {
+		t.Fatalf("evicted page hit? lat=%d", lat)
+	}
+}
+
+func TestTLBTimingWalkDelaysAccess(t *testing.T) {
+	sys, tlb, _ := newTestTLB(t, 4)
+	var cold, warm sim.Tick
+	tlb.SendTiming(Access{Addr: 0x5000, Size: 4}, func() { cold = sys.Now() })
+	sys.Run(sim.MaxTick, 0)
+	start := sys.Now()
+	tlb.SendTiming(Access{Addr: 0x5004, Size: 4}, func() { warm = sys.Now() })
+	sys.Run(sim.MaxTick, 0)
+	if cold != 110 {
+		t.Fatalf("cold completion at %d", cold)
+	}
+	if warm-start != 10 {
+		t.Fatalf("warm took %d", warm-start)
+	}
+}
+
+func TestTLBBadConfigPanics(t *testing.T) {
+	sys := sim.NewSystem(1)
+	for _, cfg := range []TLBConfig{
+		{Name: "a", Entries: 0, PageBytes: 4096},
+		{Name: "b", Entries: 4, PageBytes: 4095},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", cfg.Name)
+				}
+			}()
+			NewTLB(sys, cfg, &stubPort{sys: sys})
+		}()
+	}
+}
+
+func TestHierarchyWithGuestTLBs(t *testing.T) {
+	sys := sim.NewSystem(1)
+	cfg := DefaultHierarchyConfig("sys")
+	cfg.GuestTLBs = true
+	h := NewMultiHierarchy(sys, cfg, 2)
+	if h.ITB[0] == nil || h.DTB[1] == nil {
+		t.Fatal("TLBs missing")
+	}
+	if h.IPort(0) != Port(h.ITB[0]) || h.DPort(1) != Port(h.DTB[1]) {
+		t.Fatal("ports must route through the TLBs")
+	}
+	// An access flows TLB -> L1 -> L2.
+	h.IPort(0).AtomicLatency(Access{Addr: 0x1000, Size: 4, Inst: true})
+	if h.ITB[0].Misses() != 1 || h.L1I[0].Misses() != 1 {
+		t.Fatal("access did not flow through")
+	}
+	// Without TLBs the ports are the caches.
+	h2 := NewMultiHierarchy(sys, DefaultHierarchyConfig("sys2"), 1)
+	if h2.IPort(0) != Port(h2.L1I[0]) {
+		t.Fatal("port should be the L1I when TLBs are off")
+	}
+}

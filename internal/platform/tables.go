@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableI renders the paper's Table I (base hardware configuration on
+// FireSim) from the model's actual parameters.
+func TableI() string {
+	c := FireSimBase()
+	var b strings.Builder
+	b.WriteString("TABLE I: Base Hardware Configuration on FireSim\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-28s %s\n", k, v) }
+	row("Core Frequency", fmt.Sprintf("%.0fGHz", c.FreqGHz))
+	row("Number of Cores", "4 Cores")
+	row("Superscalar", fmt.Sprintf("%.0f-width wide", c.IssueWidth))
+	row("ROB/IQ/LQ/SQ Entries", "192/64/32/32")
+	row("Int & FP Registers", "128 & 192")
+	row("Branch Predictor/BTB Entries", fmt.Sprintf("TournamentBP/%d", c.BTBEntries))
+	row("Cache: L1I/L1D", fmt.Sprintf("%dKB(I), %dKB(D)", c.L1I.SizeBytes>>10, c.L1D.SizeBytes>>10))
+	row("DRAM", "2GB, DDR3-1600-8x8")
+	row("Operating System", "Linux Linaro (kernel 5.4.0)")
+	return b.String()
+}
+
+// TableII renders the paper's Table II (evaluation platforms) from the
+// three platform models.
+func TableII() string {
+	cfgs := TableIIPlatforms()
+	var b strings.Builder
+	b.WriteString("TABLE II: Evaluation platforms\n")
+	row := func(k string, vals ...string) {
+		fmt.Fprintf(&b, "  %-18s", k)
+		for _, v := range vals {
+			fmt.Fprintf(&b, " %-22s", v)
+		}
+		b.WriteString("\n")
+	}
+	row("Config Name", cfgs[0].Name, cfgs[1].Name, cfgs[2].Name)
+	row("Max Freq", fmt.Sprintf("%.1fGHz", cfgs[0].FreqGHz),
+		fmt.Sprintf("%.1fGHz(P)", cfgs[1].FreqGHz), fmt.Sprintf("%.1fGHz(P)", cfgs[2].FreqGHz))
+	row("Cores",
+		fmt.Sprintf("%dC/%dT", XeonPhysicalCores, XeonHardwareThreads),
+		fmt.Sprintf("P:%dC", M1ProPerfCores),
+		fmt.Sprintf("P:%dC", M1UltraPerfCores))
+	l1 := func(c int) string {
+		cfg := cfgs[c]
+		return fmt.Sprintf("%dKB(I)+%dKB(D)", cfg.L1I.SizeBytes>>10, cfg.L1D.SizeBytes>>10)
+	}
+	row("L1 (per-core)", l1(0), l1(1), l1(2))
+	row("L2", fmt.Sprintf("%dMB", cfgs[0].L2.SizeBytes>>20),
+		fmt.Sprintf("%dMB", cfgs[1].L2.SizeBytes>>20),
+		fmt.Sprintf("%dMB", cfgs[2].L2.SizeBytes>>20))
+	row("L3/SLC", fmt.Sprintf("%dMB", cfgs[0].LLC.SizeBytes>>20),
+		fmt.Sprintf("%dMB", cfgs[1].LLC.SizeBytes>>20),
+		fmt.Sprintf("%dMB", cfgs[2].LLC.SizeBytes>>20))
+	row("Cacheline", fmt.Sprintf("%dB", cfgs[0].L1I.LineBytes),
+		fmt.Sprintf("%dB", cfgs[1].L1I.LineBytes), fmt.Sprintf("%dB", cfgs[2].L1I.LineBytes))
+	row("DRAM BW", "141 GB/s", "68 GB/s", "819.2 GB/s")
+	row("DRAM Latency", fmt.Sprintf("%.0fns", cfgs[0].DRAMNanos),
+		fmt.Sprintf("%.0fns", cfgs[1].DRAMNanos), fmt.Sprintf("%.0fns", cfgs[2].DRAMNanos))
+	row("VM page size", fmt.Sprintf("%dKB", cfgs[0].PageBytes>>10),
+		fmt.Sprintf("%dKB", cfgs[1].PageBytes>>10), fmt.Sprintf("%dKB", cfgs[2].PageBytes>>10))
+	return b.String()
+}

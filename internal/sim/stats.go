@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stat is a named statistic that can render its value.
+type Stat interface {
+	StatName() string
+	Desc() string
+	Value() float64
+}
+
+// Scalar is a settable floating-point statistic.
+type Scalar struct {
+	name, desc string
+	v          float64
+}
+
+// StatName implements Stat.
+func (s *Scalar) StatName() string { return s.name }
+
+// Desc implements Stat.
+func (s *Scalar) Desc() string { return s.desc }
+
+// Value implements Stat.
+func (s *Scalar) Value() float64 { return s.v }
+
+// Set assigns the scalar.
+func (s *Scalar) Set(v float64) { s.v = v }
+
+// Add increments the scalar by v.
+func (s *Scalar) Add(v float64) { s.v += v }
+
+// Counter is a monotonically increasing integer statistic.
+type Counter struct {
+	name, desc string
+	n          uint64
+}
+
+// StatName implements Stat.
+func (c *Counter) StatName() string { return c.name }
+
+// Desc implements Stat.
+func (c *Counter) Desc() string { return c.desc }
+
+// Value implements Stat.
+func (c *Counter) Value() float64 { return float64(c.n) }
+
+// Count returns the raw count.
+func (c *Counter) Count() uint64 { return c.n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn increments the counter by n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Formula is a statistic computed on demand from other statistics.
+type Formula struct {
+	name, desc string
+	f          func() float64
+}
+
+// StatName implements Stat.
+func (f *Formula) StatName() string { return f.name }
+
+// Desc implements Stat.
+func (f *Formula) Desc() string { return f.desc }
+
+// Value implements Stat.
+func (f *Formula) Value() float64 {
+	if f.f == nil {
+		return 0
+	}
+	return f.f()
+}
+
+// Histogram is a fixed-bucket distribution statistic.
+type Histogram struct {
+	name, desc string
+	bounds     []float64 // ascending upper bounds; last bucket is overflow
+	counts     []uint64
+	samples    uint64
+	sum        float64
+	min, max   float64
+}
+
+// StatName implements Stat.
+func (h *Histogram) StatName() string { return h.name }
+
+// Desc implements Stat.
+func (h *Histogram) Desc() string { return h.desc }
+
+// Value implements Stat; it returns the mean sample.
+func (h *Histogram) Value() float64 {
+	if h.samples == 0 {
+		return 0
+	}
+	return h.sum / float64(h.samples)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.samples == 0 || v < h.min {
+		h.min = v
+	}
+	if h.samples == 0 || v > h.max {
+		h.max = v
+	}
+	h.samples++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Samples returns the number of observations.
+func (h *Histogram) Samples() uint64 { return h.samples }
+
+// Min returns the smallest observed sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observed sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bucket returns the count of bucket i; bucket len(bounds) is overflow.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// Registry holds every statistic of a System in registration order, with
+// unique dotted names (e.g. "cpu0.numInsts").
+type Registry struct {
+	stats  []Stat
+	byName map[string]Stat
+}
+
+// NewRegistry returns an empty statistics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Stat)}
+}
+
+func (r *Registry) add(s Stat) {
+	name := s.StatName()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate stat %q", name))
+	}
+	r.byName[name] = s
+	r.stats = append(r.stats, s)
+}
+
+// Scalar registers and returns a new scalar statistic.
+func (r *Registry) Scalar(name, desc string) *Scalar {
+	s := &Scalar{name: name, desc: desc}
+	r.add(s)
+	return s
+}
+
+// Counter registers and returns a new counter statistic.
+func (r *Registry) Counter(name, desc string) *Counter {
+	c := &Counter{name: name, desc: desc}
+	r.add(c)
+	return c
+}
+
+// Formula registers and returns a new derived statistic.
+func (r *Registry) Formula(name, desc string, f func() float64) *Formula {
+	fo := &Formula{name: name, desc: desc, f: f}
+	r.add(fo)
+	return fo
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds plus an implicit overflow bucket.
+func (r *Registry) Histogram(name, desc string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("sim: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{
+		name:   name,
+		desc:   desc,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.add(h)
+	return h
+}
+
+// Lookup returns the stat with the given name, or nil.
+func (r *Registry) Lookup(name string) Stat { return r.byName[name] }
+
+// Get returns the value of the named stat; it panics if the stat is missing.
+func (r *Registry) Get(name string) float64 {
+	s := r.byName[name]
+	if s == nil {
+		panic(fmt.Sprintf("sim: unknown stat %q", name))
+	}
+	return s.Value()
+}
+
+// Names returns all stat names in registration order.
+func (r *Registry) Names() []string {
+	names := make([]string, len(r.stats))
+	for i, s := range r.stats {
+		names[i] = s.StatName()
+	}
+	return names
+}
+
+// JSON renders the registry as a flat name→value JSON object, for tooling.
+func (r *Registry) JSON() ([]byte, error) {
+	m := make(map[string]float64, len(r.stats))
+	for _, s := range r.stats {
+		m[s.StatName()] = s.Value()
+	}
+	return json.MarshalIndent(m, "", " ")
+}
+
+// Dump renders the registry in gem5's stats.txt style.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	b.WriteString("---------- Begin Simulation Statistics ----------\n")
+	for _, s := range r.stats {
+		fmt.Fprintf(&b, "%-44s %14.6g  # %s\n", s.StatName(), s.Value(), s.Desc())
+	}
+	b.WriteString("---------- End Simulation Statistics   ----------\n")
+	return b.String()
+}

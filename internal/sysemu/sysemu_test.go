@@ -1,0 +1,285 @@
+package sysemu
+
+import (
+	"strings"
+	"testing"
+
+	"gem5prof/internal/cpu"
+	"gem5prof/internal/guest"
+	"gem5prof/internal/isa"
+	"gem5prof/internal/sim"
+)
+
+func seRig(t *testing.T, src string) (*sim.System, *SEEnv, cpu.CPU) {
+	t.Helper()
+	sys := sim.NewSystem(1)
+	ram := guest.NewMemory(8 << 20)
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ram.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	env := NewSEEnv(sys, ram, 0x40_0000, 0x60_0000)
+	c := cpu.NewAtomicCPU(sys, cpu.Config{Name: "cpu0", Mem: ram, Env: env})
+	c.Start(prog.Entry)
+	return sys, env, c
+}
+
+func TestSEExit(t *testing.T) {
+	sys, _, _ := seRig(t, `
+_start:
+	li a0, 42
+	li a7, 93
+	ecall
+`)
+	res := sys.Run(sim.MaxTick, 0)
+	if res.Status != sim.ExitRequested || res.ExitCode != 42 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSEWrite(t *testing.T) {
+	sys, env, _ := seRig(t, `
+_start:
+	li a0, 1
+	la a1, msg
+	li a2, 13
+	li a7, 64
+	ecall
+	mv s0, a0       # bytes written
+	li a0, 0
+	li a7, 93
+	ecall
+msg:
+	.asciz "hello, gem5!\n"
+`)
+	sys.Run(sim.MaxTick, 0)
+	if env.Stdout() != "hello, gem5!\n" {
+		t.Fatalf("stdout = %q", env.Stdout())
+	}
+}
+
+func TestSEWriteBadFd(t *testing.T) {
+	sys, _, c := seRig(t, `
+_start:
+	li a0, 7
+	li a1, 0
+	li a2, 4
+	li a7, 64
+	ecall
+	mv s0, a0
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	sys.Run(sim.MaxTick, 0)
+	if int32(c.Core().ReadReg(8)) != -9 { // -EBADF
+		t.Fatalf("write ret = %d", int32(c.Core().ReadReg(8)))
+	}
+}
+
+func TestSERead(t *testing.T) {
+	sys, env, c := seRig(t, `
+_start:
+	li a0, 0
+	la a1, buf
+	li a2, 8
+	li a7, 63
+	ecall
+	mv s0, a0
+	la t0, buf
+	lbu s1, 0(t0)
+	li a0, 0
+	li a7, 93
+	ecall
+buf:
+	.space 16
+`)
+	env.SetStdin([]byte("AB"))
+	sys.Run(sim.MaxTick, 0)
+	if c.Core().ReadReg(8) != 2 {
+		t.Fatalf("read ret = %d", c.Core().ReadReg(8))
+	}
+	if c.Core().ReadReg(9) != 'A' {
+		t.Fatalf("buf[0] = %d", c.Core().ReadReg(9))
+	}
+}
+
+func TestSEBrkAndMmap(t *testing.T) {
+	sys, _, c := seRig(t, `
+_start:
+	li a0, 0
+	li a7, 214
+	ecall            # query brk
+	mv s0, a0
+	li t0, 0x1000
+	add a0, a0, t0
+	li a7, 214
+	ecall            # grow brk
+	mv s1, a0
+	li a0, 0
+	li a1, 0x2000
+	li a7, 222
+	ecall            # mmap 8KB
+	mv s2, a0
+	li a0, 0
+	li a1, 0x2000
+	li a7, 222
+	ecall            # second mmap must not overlap
+	mv s3, a0
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	sys.Run(sim.MaxTick, 0)
+	core := c.Core()
+	if core.ReadReg(8) != 0x40_0000 {
+		t.Fatalf("initial brk = %#x", core.ReadReg(8))
+	}
+	if core.ReadReg(9) != 0x40_1000 {
+		t.Fatalf("grown brk = %#x", core.ReadReg(9))
+	}
+	m1, m2 := core.ReadReg(18), core.ReadReg(19)
+	if m1 < 0x60_0000 || m2 < m1+0x2000 {
+		t.Fatalf("mmap results %#x %#x", m1, m2)
+	}
+}
+
+func TestSEUnknownSyscall(t *testing.T) {
+	sys, _, c := seRig(t, `
+_start:
+	li a7, 999
+	ecall
+	mv s0, a0
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	sys.Run(sim.MaxTick, 0)
+	if int32(c.Core().ReadReg(8)) != -38 { // -ENOSYS
+		t.Fatalf("ret = %d", int32(c.Core().ReadReg(8)))
+	}
+}
+
+func TestMMIORouting(t *testing.T) {
+	sys := sim.NewSystem(1)
+	ram := guest.NewMemory(1 << 20)
+	w := NewMMIOMem(sys, ram)
+	u := NewUART(sys, "u0", UARTBase)
+	w.Attach(u)
+	// RAM below the window still works.
+	if err := w.Write(0x100, 4, 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.Read(0x100, 4)
+	if err != nil || v != 0xAABBCCDD {
+		t.Fatalf("ram rt = %x %v", v, err)
+	}
+	// Device window.
+	if err := w.Write(UARTBase, 1, 'h'); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(UARTBase, 1, 'i'); err != nil {
+		t.Fatal(err)
+	}
+	if u.Output() != "hi" {
+		t.Fatalf("uart = %q", u.Output())
+	}
+	st, _ := w.Read(UARTBase+4, 4)
+	if st != 1 {
+		t.Fatal("uart status not ready")
+	}
+	if w.HostAddr(UARTBase) == w.HostAddr(0x100) {
+		t.Fatal("device host addresses must differ from RAM")
+	}
+}
+
+func TestMMIOOverlapPanics(t *testing.T) {
+	sys := sim.NewSystem(1)
+	ram := guest.NewMemory(1 << 20)
+	w := NewMMIOMem(sys, ram)
+	w.Attach(NewUART(sys, "u0", UARTBase))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap not caught")
+		}
+	}()
+	w.Attach(NewUART(sys, "u1", UARTBase+0x10))
+}
+
+type fakeSink struct{ raised, cleared int }
+
+func (f *fakeSink) RaiseInterrupt() { f.raised++ }
+func (f *fakeSink) ClearInterrupt() { f.cleared++ }
+
+func TestTimer(t *testing.T) {
+	sys := sim.NewSystem(1)
+	sink := &fakeSink{}
+	tm := NewTimer(sys, "t0", TimerBase, sink)
+	// mtime advances with simulated time.
+	sys.Schedule(sim.NewEvent("nop", 0, func() {}), 5*TimerTick)
+	sys.Run(sim.MaxTick, 0)
+	v, _ := tm.ReadReg(0, 4)
+	if v != 5 {
+		t.Fatalf("mtime = %d", v)
+	}
+	// Arm 3 ticks ahead.
+	if err := tm.WriteReg(8, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if sink.cleared != 1 {
+		t.Fatal("arming must clear pending")
+	}
+	sys.Run(sim.MaxTick, 0)
+	if sink.raised != 1 || tm.Interrupts() != 1 {
+		t.Fatalf("raised = %d", sink.raised)
+	}
+	// Arming in the past fires immediately.
+	if err := tm.WriteReg(8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sink.raised != 2 {
+		t.Fatal("past deadline did not fire")
+	}
+	// cmp readback.
+	lo, _ := tm.ReadReg(8, 4)
+	if lo != 1 {
+		t.Fatalf("mtimecmp = %d", lo)
+	}
+}
+
+func TestPoweroff(t *testing.T) {
+	sys := sim.NewSystem(1)
+	p := NewPoweroff(sys, "p0", PoweroffBase)
+	sys.Schedule(sim.NewEvent("off", 0, func() {
+		_ = p.WriteReg(0, 4, 7)
+	}), 100)
+	res := sys.Run(sim.MaxTick, 0)
+	if res.Status != sim.ExitRequested || res.ExitCode != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+	if !strings.Contains(res.ExitReason, "poweroff") {
+		t.Fatalf("reason = %q", res.ExitReason)
+	}
+}
+
+func TestPlatformWiring(t *testing.T) {
+	sys := sim.NewSystem(1)
+	ram := guest.NewMemory(1 << 20)
+	sink := &LateBindSink{}
+	p := NewPlatform(sys, ram, sink)
+	if p.UART == nil || p.Timer == nil || p.Poweroff == nil || p.Env == nil {
+		t.Fatal("platform incomplete")
+	}
+	// LateBindSink tolerates nil and forwards once bound.
+	sink.RaiseInterrupt()
+	sink.ClearInterrupt()
+	fs := &fakeSink{}
+	sink.Sink = fs
+	sink.RaiseInterrupt()
+	if fs.raised != 1 {
+		t.Fatal("late-bound sink not forwarded")
+	}
+}

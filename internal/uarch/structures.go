@@ -1,0 +1,292 @@
+// Package uarch models the host machine the simulator runs on: VIPT L1
+// caches, a cache hierarchy with LLC occupancy tracking, multi-level TLBs
+// with configurable page sizes, a branch predictor with a BTB, the decoded
+// uop cache (DSB) versus legacy decoder (MITE) front end, and Top-Down
+// cycle accounting in the style of VTune's microarchitecture analysis.
+//
+// The structures are simulated exactly (tags, LRU, history); cycles are
+// composed from their outcomes with a calibrated analytical model (see
+// DESIGN.md), which is what lets every figure of the paper be regenerated
+// in simulation.
+package uarch
+
+// CacheGeom is the geometry of one cache level.
+type CacheGeom struct {
+	SizeBytes uint64
+	Ways      int
+	LineBytes uint64
+}
+
+// Sets returns the set count.
+func (g CacheGeom) Sets() uint64 {
+	return g.SizeBytes / (uint64(g.Ways) * g.LineBytes)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// cache is a set-associative LRU cache over 64-bit host addresses.
+type cache struct {
+	geom     CacheGeom
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	seq      uint64
+
+	Accesses uint64
+	Misses   uint64
+	resident uint64 // valid line count for occupancy
+}
+
+func newCache(g CacheGeom) *cache {
+	sets := g.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("uarch: cache set count must be a nonzero power of two")
+	}
+	if g.LineBytes&(g.LineBytes-1) != 0 {
+		panic("uarch: line size must be a power of two")
+	}
+	c := &cache{geom: g, setMask: sets - 1}
+	for g.LineBytes>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]cacheLine, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, g.Ways)
+	}
+	return c
+}
+
+// access looks up addr, filling on miss. Returns true on hit.
+func (c *cache) access(addr uint64) bool {
+	c.Accesses++
+	block := addr >> c.lineBits
+	set := c.sets[block&c.setMask]
+	tag := block >> popcount(c.setMask)
+	c.seq++
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.seq
+			return true
+		}
+		if !l.valid {
+			victim = l
+		} else if victim.valid && l.lru < victim.lru {
+			victim = l
+		}
+	}
+	c.Misses++
+	if !victim.valid {
+		c.resident++
+	}
+	victim.tag = tag
+	victim.valid = true
+	victim.lru = c.seq
+	return false
+}
+
+// probe reports whether addr is resident without updating state.
+func (c *cache) probe(addr uint64) bool {
+	block := addr >> c.lineBits
+	set := c.sets[block&c.setMask]
+	tag := block >> popcount(c.setMask)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyBytes returns resident lines times the line size.
+func (c *cache) OccupancyBytes() uint64 { return c.resident * c.geom.LineBytes }
+
+// MissRate returns misses/accesses.
+func (c *cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+func popcount(mask uint64) uint {
+	var n uint
+	for mask != 0 {
+		n += uint(mask & 1)
+		mask >>= 1
+	}
+	return n
+}
+
+// tlb is a fully-associative LRU TLB keyed by page number.
+type tlb struct {
+	entries []struct {
+		page, lru uint64
+		valid     bool
+	}
+	seq      uint64
+	Accesses uint64
+	Misses   uint64
+}
+
+func newTLB(entries int) *tlb {
+	if entries <= 0 {
+		panic("uarch: TLB needs entries")
+	}
+	t := &tlb{}
+	t.entries = make([]struct {
+		page, lru uint64
+		valid     bool
+	}, entries)
+	return t
+}
+
+// access looks up a page number, filling on miss; returns true on hit.
+func (t *tlb) access(page uint64) bool {
+	t.Accesses++
+	t.seq++
+	victim := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.seq
+			return true
+		}
+		if !e.valid {
+			victim = e
+		} else if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	t.Misses++
+	victim.page = page
+	victim.valid = true
+	victim.lru = t.seq
+	return false
+}
+
+// MissRate returns misses/accesses.
+func (t *tlb) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// gshare is a tournament direction predictor (per-PC bimodal + global
+// history gshare + a choice table) with a BTB for indirect targets, loosely
+// modeling the Xeon's and M1's front-end predictors.
+type gshare struct {
+	bimodal []uint8 // 2-bit counters indexed by PC
+	global  []uint8 // 2-bit counters indexed by PC^history
+	choice  []uint8 // 2-bit: >=2 means trust global
+	mask    uint64
+	history uint64
+
+	btb []struct {
+		tag, target uint64
+		valid       bool
+	}
+	btbMask uint64
+
+	Lookups        uint64
+	Mispredicts    uint64
+	IndirectClears uint64 // BAClears: unknown indirect targets
+}
+
+func newGshare(tableEntries, btbEntries int) *gshare {
+	if tableEntries&(tableEntries-1) != 0 || btbEntries&(btbEntries-1) != 0 {
+		panic("uarch: predictor sizes must be powers of two")
+	}
+	g := &gshare{
+		bimodal: make([]uint8, tableEntries),
+		global:  make([]uint8, tableEntries),
+		choice:  make([]uint8, tableEntries),
+		mask:    uint64(tableEntries - 1),
+	}
+	for i := range g.bimodal {
+		g.bimodal[i] = 2 // weakly taken
+		g.global[i] = 2
+		g.choice[i] = 1 // prefer bimodal until global proves itself
+	}
+	g.btb = make([]struct {
+		tag, target uint64
+		valid       bool
+	}, btbEntries)
+	g.btbMask = uint64(btbEntries - 1)
+	return g
+}
+
+// conditional predicts and trains one conditional branch; returns true when
+// the prediction was correct.
+func (g *gshare) conditional(pc uint64, taken bool) bool {
+	g.Lookups++
+	bi := (pc >> 1) & g.mask
+	gi := (pc>>1 ^ g.history) & g.mask
+	bPred := g.bimodal[bi] >= 2
+	gPred := g.global[gi] >= 2
+	pred := bPred
+	if g.choice[bi] >= 2 {
+		pred = gPred
+	}
+	// Train the choice table toward whichever component was right.
+	if gPred == taken && bPred != taken && g.choice[bi] < 3 {
+		g.choice[bi]++
+	} else if bPred == taken && gPred != taken && g.choice[bi] > 0 {
+		g.choice[bi]--
+	}
+	train := func(t []uint8, i uint64) {
+		if taken {
+			if t[i] < 3 {
+				t[i]++
+			}
+		} else if t[i] > 0 {
+			t[i]--
+		}
+	}
+	train(g.bimodal, bi)
+	train(g.global, gi)
+	g.history = g.history<<1 | b2u64(taken)
+	correct := pred == taken
+	if !correct {
+		g.Mispredicts++
+	}
+	return correct
+}
+
+// indirect predicts and trains one indirect branch; returns true when the
+// BTB had the right target.
+func (g *gshare) indirect(pc, target uint64) bool {
+	g.Lookups++
+	idx := (pc >> 1) & g.btbMask
+	e := &g.btb[idx]
+	hit := e.valid && e.tag == pc && e.target == target
+	if !hit {
+		g.IndirectClears++
+		g.Mispredicts++
+	}
+	e.tag = pc
+	e.target = target
+	e.valid = true
+	return hit
+}
+
+// MispredictRate returns mispredicts/lookups.
+func (g *gshare) MispredictRate() float64 {
+	if g.Lookups == 0 {
+		return 0
+	}
+	return float64(g.Mispredicts) / float64(g.Lookups)
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

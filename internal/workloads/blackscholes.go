@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "blackscholes",
+		Suite:        "parsec",
+		DefaultScale: 4096,
+		Build:        buildBlackscholes,
+	})
+}
+
+// buildBlackscholes models PARSEC blackscholes: a streaming floating-point
+// option-pricing loop. The CDF is replaced by the rational approximation
+// n(d) = 0.5 + 0.5*d/(1+|d|), keeping the FP operation mix (div, sqrt,
+// multiply-add) of the original. scale is the number of options.
+func buildBlackscholes(scale int) (*isa.Program, uint32, error) {
+	if scale < 16 {
+		return nil, 0, fmt.Errorf("workloads: blackscholes scale %d too small", scale)
+	}
+	src := prologue() + fmt.Sprintf(`
+	# generate spot/strike/time arrays from the LCG, as float64
+	la   s0, spot
+	la   s1, strike
+	la   s2, tte
+	li   s3, %d          # N
+	li   t1, 777         # lcg
+	li   t0, 0
+gen:
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 20      # 12-bit
+	addi t2, t2, 64      # 64..4159
+	fcvt.d.w f0, t2
+	slli t3, t0, 3
+	add  t4, t3, s0
+	fsd  f0, 0(t4)
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 20
+	addi t2, t2, 64
+	fcvt.d.w f1, t2
+	add  t4, t3, s1
+	fsd  f1, 0(t4)
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 24      # 8-bit
+	addi t2, t2, 1       # 1..256
+	fcvt.d.w f2, t2
+	add  t4, t3, s2
+	fsd  f2, 0(t4)
+	addi t0, t0, 1
+	blt  t0, s3, gen
+
+	# pricing loop
+	la   t5, consts
+	fld  f10, 0(t5)      # 1.0
+	fld  f11, 8(t5)      # 0.5
+	fld  f12, 16(t5)     # 0.25 (rate*vol proxy)
+	li   t0, 0
+	fcvt.d.w f20, x0     # running sum = 0.0
+price:
+	slli t3, t0, 3
+	add  t4, t3, s0
+	fld  f0, 0(t4)       # S
+	add  t4, t3, s1
+	fld  f1, 0(t4)       # K
+	add  t4, t3, s2
+	fld  f2, 0(t4)       # T
+	fsqrt f3, f2         # sqrt(T)
+	fdiv f4, f0, f1      # S/K
+	fsub f4, f4, f10     # S/K - 1
+	fdiv f5, f4, f3      # d = (S/K-1)/sqrt(T)
+	fabs f6, f5
+	fadd f6, f6, f10     # 1+|d|
+	fdiv f7, f5, f6      # d/(1+|d|)
+	fmul f7, f7, f11     # 0.5*...
+	fadd f7, f7, f11     # n(d)
+	fmul f8, f0, f7      # S*n(d)
+	fmul f9, f2, f12     # T*0.25
+	fadd f9, f9, f10     # discount proxy
+	fdiv f9, f1, f9      # K/(1+T*0.25)
+	fmul f9, f9, f11     # *0.5
+	fsub f8, f8, f9      # price
+	fadd f20, f20, f8
+	addi t0, t0, 1
+	blt  t0, s3, price
+	fcvt.w.d a0, f20
+`, scale) + epilogue() + fmt.Sprintf(`
+	.align 8
+consts:
+	.double 1.0
+	.double 0.5
+	.double 0.25
+	.align 64
+spot:
+	.space %d
+strike:
+	.space %d
+tte:
+	.space %d
+`, 8*scale, 8*scale, 8*scale)
+
+	p, err := mustBuild("blackscholes", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, blackscholesRef(scale), nil
+}
+
+func blackscholesRef(n int) uint32 {
+	spot := make([]float64, n)
+	strike := make([]float64, n)
+	tte := make([]float64, n)
+	s := uint32(777)
+	for i := 0; i < n; i++ {
+		s = lcgNext(s)
+		spot[i] = float64(int32(s>>20) + 64)
+		s = lcgNext(s)
+		strike[i] = float64(int32(s>>20) + 64)
+		s = lcgNext(s)
+		tte[i] = float64(int32(s>>24) + 1)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		S, K, T := spot[i], strike[i], tte[i]
+		sqT := math.Sqrt(T)
+		d := (S/K - 1) / sqT
+		nd := d/(math.Abs(d)+1)*0.5 + 0.5
+		price := S*nd - K/(T*0.25+1)*0.5
+		sum += price
+	}
+	return uint32(int32(sum))
+}

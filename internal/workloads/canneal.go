@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "canneal",
+		Suite:        "parsec",
+		DefaultScale: 2048,
+		Build:        buildCanneal,
+	})
+}
+
+// buildCanneal models PARSEC canneal's behaviour: simulated-annealing swaps
+// over a placement permutation with data-dependent accept branches, followed
+// by a pointer-chasing traversal (the cache-hostile part of the original).
+// scale is the number of elements; swaps = 4*scale.
+func buildCanneal(scale int) (*isa.Program, uint32, error) {
+	if scale < 8 || scale&(scale-1) != 0 {
+		return nil, 0, fmt.Errorf("workloads: canneal scale must be a power of two >= 8, got %d", scale)
+	}
+	swaps := 4 * scale
+	src := prologue() + fmt.Sprintf(`
+	la   s0, perm
+	li   s1, %d          # N
+	li   s2, %d          # N-1 mask
+	# init perm[i] = i
+	li   t0, 0
+init:
+	slli t1, t0, 2
+	add  t1, t1, s0
+	sw   t0, 0(t1)
+	addi t0, t0, 1
+	blt  t0, s1, init
+	# annealing swaps
+	li   s3, 12345       # lcg state
+	li   s4, 0           # swap counter
+	li   s5, %d          # total swaps
+anneal:
+`+lcgAsm("s3", "t6")+`
+	and  t0, s3, s2      # a = rand & (N-1)
+`+lcgAsm("s3", "t6")+`
+	and  t1, s3, s2      # b = rand & (N-1)
+	slli t2, t0, 2
+	add  t2, t2, s0
+	slli t3, t1, 2
+	add  t3, t3, s0
+	lw   t4, 0(t2)       # perm[a]
+	lw   t5, 0(t3)       # perm[b]
+	# accept if (perm[a]^perm[b]) & 3 != 3 (data-dependent branch)
+	xor  t6, t4, t5
+	andi t6, t6, 3
+	addi a1, x0, 3
+	beq  t6, a1, reject
+	sw   t5, 0(t2)
+	sw   t4, 0(t3)
+reject:
+	addi s4, s4, 1
+	blt  s4, s5, anneal
+	# pointer-chase traversal: x = perm[x], N times, xor into checksum
+	li   a0, 0
+	li   t0, 0           # x
+	li   t1, 0           # i
+chase:
+	slli t2, t0, 2
+	add  t2, t2, s0
+	lw   t0, 0(t2)
+	xor  a0, a0, t0
+	add  a0, a0, t1
+	addi t1, t1, 1
+	blt  t1, s1, chase
+`, scale, scale-1, swaps) + epilogue() + fmt.Sprintf(`
+	.align 64
+perm:
+	.space %d
+`, 4*scale)
+
+	p, err := mustBuild("canneal", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, cannealRef(scale, swaps), nil
+}
+
+func cannealRef(n, swaps int) uint32 {
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	s := uint32(12345)
+	mask := uint32(n - 1)
+	for k := 0; k < swaps; k++ {
+		s = lcgNext(s)
+		a := s & mask
+		s = lcgNext(s)
+		b := s & mask
+		if (perm[a]^perm[b])&3 != 3 {
+			perm[a], perm[b] = perm[b], perm[a]
+		}
+	}
+	var sum uint32
+	x := uint32(0)
+	for i := 0; i < n; i++ {
+		x = perm[x]
+		sum ^= x
+		sum += uint32(i)
+	}
+	return sum
+}

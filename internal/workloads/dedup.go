@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "dedup",
+		Suite:        "parsec",
+		DefaultScale: 16384,
+		Build:        buildDedup,
+	})
+}
+
+// buildDedup models PARSEC dedup: content-defined chunking with a rolling
+// hash over a pseudo-random buffer, then duplicate detection through an
+// open-addressed hash table. scale is the buffer size in bytes.
+func buildDedup(scale int) (*isa.Program, uint32, error) {
+	if scale < 256 {
+		return nil, 0, fmt.Errorf("workloads: dedup scale %d too small", scale)
+	}
+	const tableSlots = 512 // power of two
+	src := prologue() + fmt.Sprintf(`
+	la   s0, data
+	li   s1, %d          # N bytes
+	# generate data with the LCG
+	li   t0, 0
+	li   t1, 98765       # lcg state
+gen:
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 16
+	add  t3, s0, t0
+	sb   t2, 0(t3)
+	addi t0, t0, 1
+	blt  t0, s1, gen
+
+	# chunking pass
+	la   s2, table
+	li   s3, 0           # chunk count
+	li   s4, 0           # dup count
+	li   t0, 0           # i
+	li   t1, 0           # rolling hash
+	li   t2, 0           # chunk hash
+chunk:
+	add  t3, s0, t0
+	lbu  t4, 0(t3)
+	# rolling = rolling*31 + b
+	slli t5, t1, 5
+	sub  t5, t5, t1
+	add  t1, t5, t4
+	# chunkhash = chunkhash*131 + b
+	slli t5, t2, 7
+	add  t5, t5, t2
+	add  t5, t5, t5      # *131 approximated as (x*128+x)*2 + b - x ... keep simple: *258
+	add  t2, t5, t4
+	# boundary when rolling & 63 == 0
+	andi t5, t1, 63
+	bne  t5, x0, nextb
+	# end of chunk: probe table[chunkhash & (slots-1)]
+	addi s3, s3, 1
+	andi t5, t2, %d
+	slli t5, t5, 2
+	add  t5, t5, s2
+	lw   t6, 0(t5)
+	bne  t6, t2, insert
+	addi s4, s4, 1       # duplicate
+	j    chunkdone
+insert:
+	sw   t2, 0(t5)
+chunkdone:
+	li   t2, 0
+nextb:
+	addi t0, t0, 1
+	blt  t0, s1, chunk
+	# checksum = chunks<<16 ^ dups ^ lasthash
+	slli a0, s3, 16
+	xor  a0, a0, s4
+	xor  a0, a0, t2
+`, scale, tableSlots-1) + epilogue() + fmt.Sprintf(`
+	.align 64
+data:
+	.space %d
+	.align 64
+table:
+	.space %d
+`, scale, 4*tableSlots)
+
+	p, err := mustBuild("dedup", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, dedupRef(scale, tableSlots), nil
+}
+
+func dedupRef(n, slots int) uint32 {
+	data := make([]byte, n)
+	s := uint32(98765)
+	for i := range data {
+		s = lcgNext(s)
+		data[i] = byte(s >> 16)
+	}
+	table := make([]uint32, slots)
+	var chunks, dups, rolling, chunkHash uint32
+	for i := 0; i < n; i++ {
+		b := uint32(data[i])
+		rolling = rolling*31 + b
+		// Mirror the assembly exactly: t5 = h*128+h; t5 += t5; h = t5 + b.
+		chunkHash = (chunkHash*128+chunkHash)*2 + b
+		if rolling&63 == 0 {
+			chunks++
+			slot := chunkHash & uint32(slots-1)
+			if table[slot] == chunkHash {
+				dups++
+			} else {
+				table[slot] = chunkHash
+			}
+			chunkHash = 0
+		}
+	}
+	return chunks<<16 ^ dups ^ chunkHash
+}

@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "fmm",
+		Suite:        "splash2x",
+		DefaultScale: 512,
+		Build:        buildFMM,
+	})
+}
+
+// buildFMM models the SPLASH-2x fast-multipole kernel structure: bodies are
+// binned into cells, cell aggregates (mass, center) are computed upward,
+// far-field interactions happen cell-to-cell on aggregates, and the near
+// field is evaluated exactly within each cell. scale is the body count;
+// 16 cells along one dimension.
+func buildFMM(scale int) (*isa.Program, uint32, error) {
+	if scale < 32 {
+		return nil, 0, fmt.Errorf("workloads: fmm scale %d too small", scale)
+	}
+	const cells = 16
+	src := prologue() + fmt.Sprintf(`
+	la   s0, pos         # body x positions (float64)
+	la   s1, mass        # body masses
+	la   s2, cellid      # body -> cell (byte)
+	la   s7, cmass       # per-cell aggregate mass
+	la   s8, ccenter     # per-cell weighted position sum
+	la   s9, ccount      # per-cell body count (word)
+	li   s3, %d          # N
+	li   s6, %d          # CELLS
+
+	# generate bodies: x in [0,256), mass in [1,17)
+	li   t1, 2718        # lcg
+	li   t0, 0
+genb:
+	slli t4, t0, 3
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 24      # 0..255
+	fcvt.d.w f0, t2
+	add  t5, t4, s0
+	fsd  f0, 0(t5)
+	srli t3, t2, 4       # cell = x >> 4
+	add  t5, s2, t0
+	sb   t3, 0(t5)
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 28      # 0..15
+	addi t2, t2, 1
+	fcvt.d.w f0, t2
+	add  t5, t4, s1
+	fsd  f0, 0(t5)
+	addi t0, t0, 1
+	blt  t0, s3, genb
+
+	# upward pass: accumulate cell aggregates
+	li   t0, 0
+upward:
+	add  t5, s2, t0
+	lbu  t2, 0(t5)       # cell
+	slli t3, t2, 3
+	slli t4, t0, 3
+	add  t5, t4, s1
+	fld  f0, 0(t5)       # mass
+	add  t5, t3, s7
+	fld  f1, 0(t5)
+	fadd f1, f1, f0
+	fsd  f1, 0(t5)       # cmass += m
+	add  t5, t4, s0
+	fld  f2, 0(t5)       # x
+	fmul f2, f2, f0      # m*x
+	add  t5, t3, s8
+	fld  f1, 0(t5)
+	fadd f1, f1, f2
+	fsd  f1, 0(t5)       # ccenter += m*x
+	slli t3, t2, 2
+	add  t5, t3, s9
+	lw   t6, 0(t5)
+	addi t6, t6, 1
+	sw   t6, 0(t5)       # ccount++
+	addi t0, t0, 1
+	blt  t0, s3, upward
+
+	la   t6, fconsts
+	fld  f10, 0(t6)      # 1.0
+	fcvt.d.w f20, x0     # far-field accumulator
+
+	# far field: all cell pairs a < b on aggregates
+	li   s4, 0
+fara:
+	addi s5, s4, 1
+farb:
+	bge  s5, s6, faradv
+	slli t3, s4, 3
+	slli t4, s5, 3
+	add  t5, t3, s7
+	fld  f0, 0(t5)       # Ma
+	add  t5, t4, s7
+	fld  f1, 0(t5)       # Mb
+	fmul f2, f0, f1      # Ma*Mb
+	add  t5, t3, s8
+	fld  f3, 0(t5)
+	add  t5, t4, s8
+	fld  f4, 0(t5)
+	fsub f3, f3, f4      # center diff (weighted)
+	fabs f3, f3
+	fadd f3, f3, f10     # +1
+	fdiv f2, f2, f3
+	fadd f20, f20, f2
+	addi s5, s5, 1
+	j    farb
+faradv:
+	addi s4, s4, 1
+	addi t5, s6, -1
+	blt  s4, t5, fara
+
+	# near field: exact within-cell pairs
+	li   s4, 0           # i
+neari:
+	addi s5, s4, 1
+nearj:
+	bge  s5, s3, nearadv
+	add  t5, s2, s4
+	lbu  t2, 0(t5)
+	add  t5, s2, s5
+	lbu  t3, 0(t5)
+	bne  t2, t3, nearskip
+	slli t3, s4, 3
+	slli t4, s5, 3
+	add  t5, t3, s0
+	fld  f0, 0(t5)
+	add  t5, t4, s0
+	fld  f1, 0(t5)
+	fsub f0, f0, f1
+	fmul f0, f0, f0      # dx^2
+	fadd f0, f0, f10     # +1
+	fsqrt f1, f0
+	add  t5, t3, s1
+	fld  f2, 0(t5)
+	add  t5, t4, s1
+	fld  f3, 0(t5)
+	fmul f2, f2, f3      # mi*mj
+	fdiv f2, f2, f1
+	fadd f20, f20, f2
+nearskip:
+	addi s5, s5, 1
+	j    nearj
+nearadv:
+	addi s4, s4, 1
+	blt  s4, s3, neari
+
+	la   t6, fconsts
+	fld  f0, 8(t6)       # 0.01
+	fmul f20, f20, f0
+	fcvt.w.d a0, f20
+`, scale, cells) + epilogue() + fmt.Sprintf(`
+	.align 8
+fconsts:
+	.double 1.0
+	.double 0.01
+	.align 64
+pos:
+	.space %d
+mass:
+	.space %d
+cellid:
+	.space %d
+	.align 8
+cmass:
+	.space %d
+ccenter:
+	.space %d
+ccount:
+	.space %d
+`, 8*scale, 8*scale, scale, 8*cells, 8*cells, 4*cells)
+
+	p, err := mustBuild("fmm", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, fmmRef(scale, cells), nil
+}
+
+func fmmRef(n, cells int) uint32 {
+	pos := make([]float64, n)
+	mass := make([]float64, n)
+	cellid := make([]uint8, n)
+	s := uint32(2718)
+	for i := 0; i < n; i++ {
+		s = lcgNext(s)
+		x := int32(s >> 24)
+		pos[i] = float64(x)
+		cellid[i] = uint8(x >> 4)
+		s = lcgNext(s)
+		mass[i] = float64(int32(s>>28) + 1)
+	}
+	cmass := make([]float64, cells)
+	ccenter := make([]float64, cells)
+	for i := 0; i < n; i++ {
+		c := cellid[i]
+		cmass[c] += mass[i]
+		ccenter[c] += pos[i] * mass[i]
+	}
+	sum := 0.0
+	for a := 0; a < cells-1; a++ {
+		for b := a + 1; b < cells; b++ {
+			sum += cmass[a] * cmass[b] / (math.Abs(ccenter[a]-ccenter[b]) + 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cellid[i] != cellid[j] {
+				continue
+			}
+			dx := pos[i] - pos[j]
+			sum += mass[i] * mass[j] / math.Sqrt(dx*dx+1)
+		}
+	}
+	return uint32(int32(sum * 0.01))
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "ocean_cp",
+		Suite:        "splash2x",
+		DefaultScale: 64,
+		Build:        func(scale int) (*isa.Program, uint32, error) { return buildOcean(scale, true) },
+	})
+	register(Spec{
+		Name:         "ocean_ncp",
+		Suite:        "splash2x",
+		DefaultScale: 64,
+		Build:        func(scale int) (*isa.Program, uint32, error) { return buildOcean(scale, false) },
+	})
+}
+
+// buildOcean is the SPLASH-2x ocean kernel: Gauss-Seidel relaxation sweeps
+// over a scale x scale float64 grid. The contiguous-partitions variant
+// (ocean_cp) sweeps row-major; the non-contiguous variant (ocean_ncp)
+// sweeps column-major, producing the strided, cache-hostile access pattern
+// of the original benchmark pair.
+func buildOcean(scale int, rowMajor bool) (*isa.Program, uint32, error) {
+	if scale < 8 {
+		return nil, 0, fmt.Errorf("workloads: ocean scale %d too small", scale)
+	}
+	const iters = 4
+	g := scale
+	name := "ocean_ncp"
+	if rowMajor {
+		name = "ocean_cp"
+	}
+
+	// The sweep body is identical; only the loop nest order differs.
+	// Outer index s4, inner index s5; cell (row,col) derived per variant.
+	var rowReg, colReg string
+	if rowMajor {
+		rowReg, colReg = "s4", "s5"
+	} else {
+		rowReg, colReg = "s5", "s4"
+	}
+	src := prologue() + fmt.Sprintf(`
+	la   s0, grid
+	li   s3, %d          # G
+	# init grid[i][j] = ((i*G+j) %% 97) as float
+	li   t0, 0           # linear index
+	li   t1, %d          # G*G
+initg:
+	li   t2, 97
+	remu t3, t0, t2
+	fcvt.d.w f0, t3
+	slli t4, t0, 3
+	add  t4, t4, s0
+	fsd  f0, 0(t4)
+	addi t0, t0, 1
+	blt  t0, t1, initg
+
+	la   t6, oconsts
+	fld  f10, 0(t6)      # 0.25
+	li   s6, 0           # iteration
+sweep:
+	li   s4, 1           # outer = 1..G-2
+outer:
+	li   s5, 1           # inner = 1..G-2
+inner:
+	# addr of (row,col) = base + (row*G + col)*8
+	mul  t0, %s, s3
+	add  t0, t0, %s
+	slli t0, t0, 3
+	add  t0, t0, s0
+	# neighbours: +-8 (col), +-8*G (row)
+	fld  f0, 8(t0)
+	fld  f1, -8(t0)
+	fadd f0, f0, f1
+	li   t2, %d
+	add  t3, t0, t2
+	fld  f1, 0(t3)
+	fadd f0, f0, f1
+	sub  t3, t0, t2
+	fld  f1, 0(t3)
+	fadd f0, f0, f1
+	fmul f0, f0, f10
+	fsd  f0, 0(t0)
+	addi s5, s5, 1
+	addi t4, s3, -1
+	blt  s5, t4, inner
+	addi s4, s4, 1
+	blt  s4, t4, outer
+	addi s6, s6, 1
+	li   t5, %d
+	blt  s6, t5, sweep
+
+	# checksum: grid[G/2][G/2] * 1000
+	li   t0, %d
+	slli t0, t0, 3
+	add  t0, t0, s0
+	fld  f0, 0(t0)
+	la   t6, oconsts
+	fld  f1, 8(t6)
+	fmul f0, f0, f1
+	fcvt.w.d a0, f0
+`, g, g*g, rowReg, colReg, 8*g, iters, (g/2)*g+g/2) + epilogue() + fmt.Sprintf(`
+	.align 8
+oconsts:
+	.double 0.25
+	.double 1000.0
+	.align 64
+grid:
+	.space %d
+`, 8*g*g)
+
+	p, err := mustBuild(name, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, oceanRef(g, iters, rowMajor), nil
+}
+
+func oceanRef(g, iters int, rowMajor bool) uint32 {
+	grid := make([]float64, g*g)
+	for i := range grid {
+		grid[i] = float64(i % 97)
+	}
+	at := func(r, c int) int { return r*g + c }
+	for it := 0; it < iters; it++ {
+		for outer := 1; outer < g-1; outer++ {
+			for inner := 1; inner < g-1; inner++ {
+				r, c := outer, inner
+				if !rowMajor {
+					r, c = inner, outer
+				}
+				i := at(r, c)
+				// Match the assembly's accumulation order exactly:
+				// east, west, south (+G), north (-G).
+				v := grid[i+1] + grid[i-1]
+				v += grid[i+g]
+				v += grid[i-g]
+				grid[i] = v * 0.25
+			}
+		}
+	}
+	return uint32(int32(grid[at(g/2, g/2)] * 1000.0))
+}

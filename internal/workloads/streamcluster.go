@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "streamcluster",
+		Suite:        "parsec",
+		DefaultScale: 1024,
+		Build:        buildStreamcluster,
+	})
+}
+
+// buildStreamcluster models PARSEC streamcluster: online k-median style
+// assignment of streaming points to centers by squared euclidean distance.
+// scale is the point count; D=4 dimensions, K=8 centers.
+func buildStreamcluster(scale int) (*isa.Program, uint32, error) {
+	if scale < 16 {
+		return nil, 0, fmt.Errorf("workloads: streamcluster scale %d too small", scale)
+	}
+	const (
+		dims    = 4
+		centers = 8
+	)
+	src := prologue() + fmt.Sprintf(`
+	la   s0, points
+	la   s1, ctrs
+	li   s3, %d          # N
+	li   t1, 5555        # lcg
+	# generate N*D point coords in [0,256)
+	li   t0, 0
+	li   t2, %d          # N*D
+genp:
+`+lcgAsm("t1", "t6")+`
+	srli t3, t1, 24
+	fcvt.d.w f0, t3
+	slli t4, t0, 3
+	add  t4, t4, s0
+	fsd  f0, 0(t4)
+	addi t0, t0, 1
+	blt  t0, t2, genp
+	# centers: first K points
+	li   t0, 0
+	li   t2, %d          # K*D
+genc:
+	slli t4, t0, 3
+	add  t5, t4, s0
+	fld  f0, 0(t5)
+	add  t5, t4, s1
+	fsd  f0, 0(t5)
+	addi t0, t0, 1
+	blt  t0, t2, genc
+
+	# assignment loop
+	la   t6, scconsts
+	fld  f10, 0(t6)      # 1e30 (big)
+	fcvt.d.w f20, x0     # total cost
+	li   a1, 0           # xor of assignments
+	li   s4, 0           # point i
+assign:
+	li   t5, %d          # D*8
+	mul  t3, s4, t5
+	add  t3, t3, s0      # &point[i]
+	fmv  f11, f10        # best = big
+	li   s6, 0           # best k
+	li   s5, 0           # k
+kloop:
+	li   t5, %d
+	mul  t4, s5, t5
+	add  t4, t4, s1      # &center[k]
+	# squared distance over D=4 dims, unrolled
+	fld  f0, 0(t3)
+	fld  f1, 0(t4)
+	fsub f0, f0, f1
+	fmul f2, f0, f0
+	fld  f0, 8(t3)
+	fld  f1, 8(t4)
+	fsub f0, f0, f1
+	fmul f1, f0, f0
+	fadd f2, f2, f1
+	fld  f0, 16(t3)
+	fld  f1, 16(t4)
+	fsub f0, f0, f1
+	fmul f1, f0, f0
+	fadd f2, f2, f1
+	fld  f0, 24(t3)
+	fld  f1, 24(t4)
+	fsub f0, f0, f1
+	fmul f1, f0, f0
+	fadd f2, f2, f1
+	# keep min
+	flt  t5, f2, f11
+	beq  t5, x0, notbest
+	fmv  f11, f2
+	mv   s6, s5
+notbest:
+	addi s5, s5, 1
+	li   t5, %d
+	blt  s5, t5, kloop
+	fadd f20, f20, f11
+	xor  a1, a1, s6
+	add  a1, a1, s6
+	addi s4, s4, 1
+	blt  s4, s3, assign
+
+	la   t6, scconsts
+	fld  f0, 8(t6)       # 0.001
+	fmul f20, f20, f0
+	fcvt.w.d a0, f20
+	xor  a0, a0, a1
+`, scale, scale*dims, centers*dims, dims*8, dims*8, centers) + epilogue() + fmt.Sprintf(`
+	.align 8
+scconsts:
+	.double 1e30
+	.double 0.001
+	.align 64
+points:
+	.space %d
+ctrs:
+	.space %d
+`, 8*scale*dims, 8*centers*dims)
+
+	p, err := mustBuild("streamcluster", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, streamclusterRef(scale, dims, centers), nil
+}
+
+func streamclusterRef(n, dims, k int) uint32 {
+	pts := make([]float64, n*dims)
+	s := uint32(5555)
+	for i := range pts {
+		s = lcgNext(s)
+		pts[i] = float64(int32(s >> 24))
+	}
+	ctrs := make([]float64, k*dims)
+	copy(ctrs, pts[:k*dims])
+	cost := 0.0
+	var xorAcc uint32
+	for i := 0; i < n; i++ {
+		best := 1e30
+		bestK := uint32(0)
+		for c := 0; c < k; c++ {
+			d2 := 0.0
+			for d := 0; d < dims; d++ {
+				diff := pts[i*dims+d] - ctrs[c*dims+d]
+				d2 += diff * diff
+			}
+			if d2 < best {
+				best = d2
+				bestK = uint32(c)
+			}
+		}
+		cost += best
+		xorAcc ^= bestK
+		xorAcc += bestK
+	}
+	return uint32(int32(cost*0.001)) ^ xorAcc
+}

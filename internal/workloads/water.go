@@ -1,0 +1,258 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"gem5prof/internal/isa"
+)
+
+func init() {
+	register(Spec{
+		Name:         "water_nsquared",
+		Suite:        "splash2x",
+		DefaultScale: 192,
+		Build:        buildWaterNsquared,
+	})
+	register(Spec{
+		Name:         "water_spatial",
+		Suite:        "splash2x",
+		DefaultScale: 256,
+		Build:        buildWaterSpatial,
+	})
+}
+
+// genMoleculesAsm emits the common molecule-placement code: N molecules with
+// coordinates in [0,64) derived from the LCG, stored as 3 float64 per
+// molecule at base label "mol".
+func genMoleculesAsm(n int) string {
+	return fmt.Sprintf(`
+	la   s0, mol
+	li   s3, %d          # N
+	li   t1, 31415       # lcg
+	li   t0, 0           # i
+genm:
+	li   t5, 24
+	mul  t3, t0, t5      # i*24
+	add  t3, t3, s0
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 26      # 6-bit: 0..63
+	fcvt.d.w f0, t2
+	fsd  f0, 0(t3)
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 26
+	fcvt.d.w f0, t2
+	fsd  f0, 8(t3)
+`+lcgAsm("t1", "t6")+`
+	srli t2, t1, 26
+	fcvt.d.w f0, t2
+	fsd  f0, 16(t3)
+	addi t0, t0, 1
+	blt  t0, s3, genm
+`, n)
+}
+
+func genMoleculesRef(n int) [][3]float64 {
+	mol := make([][3]float64, n)
+	s := uint32(31415)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			s = lcgNext(s)
+			mol[i][d] = float64(int32(s >> 26))
+		}
+	}
+	return mol
+}
+
+// pairForceAsm emits the inner force kernel shared by both water variants:
+// given molecule addresses in t3 (i) and t4 (j), accumulate into f20.
+// Clobbers f0-f9. Uses f10 = 1.0, f11 = cutoff^2 = 400.0.
+const pairForceAsm = `
+	fld  f0, 0(t3)
+	fld  f1, 0(t4)
+	fsub f0, f0, f1      # dx
+	fld  f2, 8(t3)
+	fld  f3, 8(t4)
+	fsub f2, f2, f3      # dy
+	fld  f4, 16(t3)
+	fld  f5, 16(t4)
+	fsub f4, f4, f5      # dz
+	fmul f0, f0, f0
+	fmul f2, f2, f2
+	fmul f4, f4, f4
+	fadd f6, f0, f2
+	fadd f6, f6, f4      # r2
+	flt  t5, f6, f11     # r2 < cutoff2 ?
+	beq  t5, x0, pf_skip
+	fadd f7, f6, f10     # r2+1 (avoid div by 0)
+	fdiv f8, f10, f7     # 1/(r2+1)
+	fsqrt f9, f7
+	fdiv f9, f10, f9     # 1/sqrt(r2+1)
+	fadd f8, f8, f9
+	fadd f20, f20, f8
+pf_skip:
+`
+
+func pairForceRef(a, b [3]float64, sum *float64) {
+	dx := a[0] - b[0]
+	dy := a[1] - b[1]
+	dz := a[2] - b[2]
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 < 400.0 {
+		f := 1/(r2+1) + 1/math.Sqrt(r2+1)
+		*sum += f
+	}
+}
+
+// buildWaterNsquared is the SPLASH-2x water_nsquared kernel: an O(N^2)
+// all-pairs force computation. scale is the molecule count.
+func buildWaterNsquared(scale int) (*isa.Program, uint32, error) {
+	if scale < 8 {
+		return nil, 0, fmt.Errorf("workloads: water_nsquared scale %d too small", scale)
+	}
+	// The shared pair kernel has a label; it appears once, inside the
+	// doubly nested loop.
+	src := prologue() + genMoleculesAsm(scale) + `
+	la   t6, wconsts
+	fld  f10, 0(t6)      # 1.0
+	fld  f11, 8(t6)      # cutoff^2
+	fcvt.d.w f20, x0     # force accumulator
+	li   s4, 0           # i
+iloop:
+	addi s5, s4, 1       # j = i+1
+jloop:
+	bge  s5, s3, jdone
+	li   t5, 24
+	mul  t3, s4, t5
+	add  t3, t3, s0
+	mul  t4, s5, t5
+	add  t4, t4, s0
+` + pairForceAsm + `
+	addi s5, s5, 1
+	j    jloop
+jdone:
+	addi s4, s4, 1
+	blt  s4, s3, iloop
+	la   t6, wconsts
+	fld  f0, 16(t6)      # 1000.0
+	fmul f20, f20, f0
+	fcvt.w.d a0, f20
+` + epilogue() + fmt.Sprintf(`
+	.align 8
+wconsts:
+	.double 1.0
+	.double 400.0
+	.double 1000.0
+	.align 64
+mol:
+	.space %d
+`, 24*scale)
+
+	p, err := mustBuild("water_nsquared", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, waterNsquaredRef(scale), nil
+}
+
+func waterNsquaredRef(n int) uint32 {
+	mol := genMoleculesRef(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairForceRef(mol[i], mol[j], &sum)
+		}
+	}
+	return uint32(int32(sum * 1000.0))
+}
+
+// buildWaterSpatial is water_spatial: the same force kernel restricted to
+// pairs whose x coordinates fall in the same spatial slab, modeling the
+// cell-list decomposition of the original. scale is the molecule count.
+func buildWaterSpatial(scale int) (*isa.Program, uint32, error) {
+	if scale < 8 {
+		return nil, 0, fmt.Errorf("workloads: water_spatial scale %d too small", scale)
+	}
+	src := prologue() + genMoleculesAsm(scale) + `
+	# cell[i] = int(x) >> 4  (4 slabs over [0,64))
+	la   s1, cell
+	li   t0, 0
+genc:
+	li   t5, 24
+	mul  t3, t0, t5
+	add  t3, t3, s0
+	fld  f0, 0(t3)
+	fcvt.w.d t2, f0
+	srli t2, t2, 4
+	add  t4, s1, t0
+	sb   t2, 0(t4)
+	addi t0, t0, 1
+	blt  t0, s3, genc
+
+	la   t6, wconsts
+	fld  f10, 0(t6)
+	fld  f11, 8(t6)
+	fcvt.d.w f20, x0
+	li   s4, 0
+iloop:
+	addi s5, s4, 1
+jloop:
+	bge  s5, s3, jdone
+	add  t3, s1, s4
+	lbu  t1, 0(t3)
+	add  t4, s1, s5
+	lbu  t2, 0(t4)
+	bne  t1, t2, skippair  # different slab: far field ignored
+	li   t5, 24
+	mul  t3, s4, t5
+	add  t3, t3, s0
+	mul  t4, s5, t5
+	add  t4, t4, s0
+` + pairForceAsm + `
+skippair:
+	addi s5, s5, 1
+	j    jloop
+jdone:
+	addi s4, s4, 1
+	blt  s4, s3, iloop
+	la   t6, wconsts
+	fld  f0, 16(t6)
+	fmul f20, f20, f0
+	fcvt.w.d a0, f20
+` + epilogue() + fmt.Sprintf(`
+	.align 8
+wconsts:
+	.double 1.0
+	.double 400.0
+	.double 1000.0
+	.align 64
+mol:
+	.space %d
+	.align 64
+cell:
+	.space %d
+`, 24*scale, scale)
+
+	p, err := mustBuild("water_spatial", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, waterSpatialRef(scale), nil
+}
+
+func waterSpatialRef(n int) uint32 {
+	mol := genMoleculesRef(n)
+	cell := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		cell[i] = uint8(int32(mol[i][0])) >> 4
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cell[i] == cell[j] {
+				pairForceRef(mol[i], mol[j], &sum)
+			}
+		}
+	}
+	return uint32(int32(sum * 1000.0))
+}

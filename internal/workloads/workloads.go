@@ -1,0 +1,117 @@
+// Package workloads provides the guest programs simulated in the paper's
+// experiments: nine PARSEC/SPLASH-2x-style kernels, the Sieve-of-
+// Eratosthenes C++ program used on FireSim, and the FS-mode mini-kernel
+// image used for Boot-Exit and full-system runs.
+//
+// Every workload is generated as KISA assembly parameterized by a scale
+// factor, together with a Go reference model that computes the expected
+// checksum; integration tests verify that every CPU model reproduces the
+// reference result exactly.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gem5prof/internal/isa"
+)
+
+// Spec describes one guest workload.
+type Spec struct {
+	// Name is the workload identifier (e.g. "water_nsquared").
+	Name string
+	// Suite is "parsec", "splash2x", or "cpp".
+	Suite string
+	// DefaultScale is the problem size used by the experiment harness
+	// (the scaled-down analogue of the paper's simmedium inputs).
+	DefaultScale int
+	// Build assembles the program for a given scale and returns it with the
+	// expected checksum (the program's exit value).
+	Build func(scale int) (*isa.Program, uint32, error)
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workloads: duplicate workload " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PARSEC returns the nine PARSEC/SPLASH-2x workloads of the paper's Fig. 1,
+// sorted by name.
+func PARSEC() []Spec {
+	var out []Spec
+	for _, n := range Names() {
+		s := registry[n]
+		if s.Suite == "parsec" || s.Suite == "splash2x" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Memory layout conventions shared by the SE workloads.
+const (
+	// StackTop is where _start points sp.
+	StackTop = 0x00F0_0000
+	// HeapBase is the initial program break for SE mode.
+	HeapBase = 0x0040_0000
+	// MmapBase is where SE anonymous mappings land.
+	MmapBase = 0x0080_0000
+)
+
+// prologue returns the common _start preamble.
+func prologue() string {
+	return fmt.Sprintf(`
+	.org 0x1000
+_start:
+	li   sp, %#x
+`, StackTop)
+}
+
+// epilogue exits with the checksum that the kernel left in a0.
+func epilogue() string {
+	return `
+	li   a7, 93
+	ecall
+`
+}
+
+// mustBuild assembles src, wrapping assembler failures with the workload
+// name for diagnosability.
+func mustBuild(name, src string) (*isa.Program, error) {
+	p, err := isa.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// lcgNext is the shared guest LCG: s' = s*1103515245 + 12345 (mod 2^32).
+func lcgNext(s uint32) uint32 { return s*1103515245 + 12345 }
+
+// lcgAsm emits assembly advancing the LCG state in reg using tmp.
+func lcgAsm(reg, tmp string) string {
+	return fmt.Sprintf(`	li   %s, 1103515245
+	mul  %s, %s, %s
+	addi %s, %s, 12345
+`, tmp, reg, reg, tmp, reg, reg)
+}
