@@ -13,6 +13,7 @@ package gem5prof_test
 
 import (
 	"testing"
+	"time"
 
 	"gem5prof"
 
@@ -221,6 +222,54 @@ func BenchmarkAblationEventQueue(b *testing.B) {
 			b.ReportMetric(float64(insts)/float64(b.N), "guest-insts")
 		})
 	}
+}
+
+// --- Parallel harness benches ---
+
+// BenchmarkSessionRunParallel drives independent co-simulation sessions from
+// GOMAXPROCS goroutines at once. RunSession is documented as safe for
+// concurrent use; this bench is the scaling (and, under -race, the safety)
+// witness for that claim.
+func BenchmarkSessionRunParallel(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+				Guest: gem5prof.GuestConfig{
+					CPU: gem5prof.Timing, Mode: gem5prof.SE,
+					Workload: "sieve", Scale: 2048,
+				},
+				Host: gem5prof.IntelXeon(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.SimSeconds()
+		}
+	})
+}
+
+// BenchmarkHarnessSpeedup times the quick Top-Down experiment set
+// sequentially (-j 1) and on the full pool (-j GOMAXPROCS) from a cold cache
+// each time, reporting the wall-clock ratio. On a 1-core host it reports
+// ~1.0x; the gain appears with cores.
+func BenchmarkHarnessSpeedup(b *testing.B) {
+	ids := []string{"fig02", "fig03", "fig04", "fig05", "fig06"}
+	runSet := func(jobs int) time.Duration {
+		gem5prof.ResetExperimentCaches()
+		start := time.Now()
+		for oc := range gem5prof.RunExperiments(ids, gem5prof.ExperimentOptions{Quick: true, Jobs: jobs}) {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		seq := runSet(1)
+		par := runSet(0)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	}
+	gem5prof.ResetExperimentCaches()
 }
 
 // --- Substrate micro-benches ---

@@ -2,11 +2,19 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-run table1,fig01,...|all] [-o out.txt]
+//	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-o out.txt]
 //
 // Each experiment prints an aligned table whose rows mirror the series of
 // the corresponding figure, plus notes comparing the measured shape with the
 // paper's published numbers (see EXPERIMENTS.md).
+//
+// -j bounds how many simulation runs execute concurrently (default
+// GOMAXPROCS): experiments fan out against each other and the independent
+// runs inside each experiment fan out too, all on one shared pool. The
+// report on stdout (and -o) is byte-identical for every -j value — results
+// are collected in cell order and per-run seeds derive from (experiment id,
+// cell index) — so only timing, which is inherently nondeterministic, goes
+// to stderr.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +32,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use reduced workload sets and problem sizes")
 	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
 	outPath := flag.String("o", "", "also write the report to this file")
 	flag.Parse()
 
@@ -42,21 +52,22 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, Jobs: *jobs}
 	start := time.Now()
 	failed := 0
-	for _, id := range ids {
-		t0 := time.Now()
-		res, err := experiments.Run(strings.TrimSpace(id), opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+	// Outcomes arrive in ids order (not completion order), so the report
+	// streams deterministically while later experiments keep computing.
+	for oc := range experiments.RunMany(ids, opt) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", oc.ID, oc.Err)
 			failed++
 			continue
 		}
-		fmt.Fprint(out, res.Render())
-		fmt.Fprintf(out, "  (generated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Fprint(out, oc.Res.Render())
+		fmt.Fprintln(out)
+		fmt.Fprintf(os.Stderr, "%s done at %v\n", oc.ID, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "total: %v (-j %d)\n", time.Since(start).Round(time.Millisecond), *jobs)
 	if failed > 0 {
 		os.Exit(1)
 	}

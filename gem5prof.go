@@ -167,8 +167,11 @@ var (
 type (
 	// Experiment is one regenerated table or figure.
 	Experiment = experiments.Result
-	// ExperimentOptions tunes experiment cost.
+	// ExperimentOptions tunes experiment cost and parallelism (Jobs bounds
+	// concurrent simulation runs; output is identical for any value).
 	ExperimentOptions = experiments.Options
+	// ExperimentOutcome is one experiment's result from RunExperiments.
+	ExperimentOutcome = experiments.Outcome
 )
 
 var (
@@ -176,4 +179,10 @@ var (
 	ExperimentIDs = experiments.IDs
 	// RunExperiment regenerates one table or figure.
 	RunExperiment = experiments.Run
+	// RunExperiments regenerates many experiments concurrently on one
+	// bounded worker pool, yielding outcomes in ids order.
+	RunExperiments = experiments.RunMany
+	// ResetExperimentCaches drops per-process measurement caches so
+	// benchmarks re-measure instead of replaying cached reports.
+	ResetExperimentCaches = experiments.ResetCaches
 )

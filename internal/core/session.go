@@ -1,6 +1,10 @@
 package core
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+
 	"gem5prof/internal/hostmodel"
 	"gem5prof/internal/platform"
 	"gem5prof/internal/profiler"
@@ -41,7 +45,30 @@ type SessionResult struct {
 // SimSeconds returns the modeled host wall-clock of the simulation.
 func (r *SessionResult) SimSeconds() float64 { return r.Host.TimeSeconds }
 
+// DeriveSeed returns the deterministic RNG seed for one independent run
+// (cell) of a named experiment. Seeds are a pure function of the experiment
+// id and the cell's position in the experiment's sequential cell order —
+// never of a shared RNG or of run scheduling — so a parallel harness draws
+// exactly the seeds a sequential one would, cell for cell.
+func DeriveSeed(experiment string, cell int) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, experiment)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(cell))
+	h.Write(b[:])
+	s := int64(h.Sum64() >> 1) // keep it positive; Seed==0 means "default"
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // RunSession builds and runs one co-simulation.
+//
+// RunSession is safe for concurrent use: every call constructs its own guest
+// system, host machine, and code model, and the package-level state it reads
+// (workload registry, platform tables, SPEC profiles) is immutable after
+// init. The parallel experiment runner relies on this.
 func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	host := platform.Contend(cfg.Host, cfg.Scenario)
 	machine := uarch.NewMachine(host)

@@ -20,85 +20,60 @@ func runAblations(opt Options) (*Result, error) {
 	if !opt.Quick {
 		scale = parsecRepScale(opt)
 	}
-	probe := func(host uarch.Config, hc hostmodel.Config) (float64, error) {
+	// The six probes are independent sessions; flatten them into cells and
+	// fan out on the worker pool, normalizing against cell 0 afterwards.
+	noDSB := platform.IntelXeon() // A1: no uop cache.
+	noDSB.DSBUops = 0
+	bigL1 := platform.IntelXeon() // A2: VIPT constraint lifted.
+	bigL1.L1I = uarch.CacheGeom{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64}
+	bigL1.SkipVIPTCheck = true
+	noMLP := platform.IntelXeon() // A3: no memory-level parallelism overlap.
+	noMLP.MLPOverlap = 0
+	packed := hostmodel.DefaultConfig() // A4: densely packed function layout.
+	packed.TextSlots = 2                // forces sequential overflow placement
+
+	cells := []struct {
+		label    string
+		host     uarch.Config
+		hc       hostmodel.Config
+		calendar bool // A5: calendar event queue (guest-side; host time via co-sim)
+	}{
+		{label: "baseline", host: platform.IntelXeon()},
+		{label: "A1 no DSB", host: noDSB},
+		{label: "A2 non-VIPT 128KB L1I", host: bigL1},
+		{label: "A3 no MLP overlap", host: noMLP},
+		{label: "A4 packed layout", host: platform.IntelXeon(), hc: packed},
+		{label: "A5 calendar event queue", host: platform.IntelXeon(), calendar: true},
+	}
+	times, err := runAll(opt.runner, len(cells), func(i int) (float64, error) {
 		r, err := core.RunSession(core.SessionConfig{
 			Guest: core.GuestConfig{
 				CPU: core.O3, Mode: core.SE,
 				Workload: "water_nsquared", Scale: scale,
+				CalendarQueue: cells[i].calendar,
+				Seed:          core.DeriveSeed("ablations", i),
 			},
-			Host:     host,
-			HostCode: hc,
+			Host:     cells[i].host,
+			HostCode: cells[i].hc,
 		})
 		if err != nil {
 			return 0, err
 		}
 		return r.SimSeconds(), nil
-	}
-
-	base, err := probe(platform.IntelXeon(), hostmodel.Config{})
+	})
 	if err != nil {
 		return nil, err
 	}
+	base := times[0]
 
 	res := &Result{
 		ID:    "ablations",
 		Title: "Design-choice ablations (O3/water_nsquared on Intel_Xeon; ratio vs baseline time)",
 		Cols:  []string{"time-ratio"},
 	}
-	add := func(label string, t float64) {
-		res.Rows = append(res.Rows, Row{Label: label, Values: []float64{t / base}})
+	for i, c := range cells {
+		res.Rows = append(res.Rows, Row{Label: c.label, Values: []float64{times[i] / base}})
 	}
-	add("baseline", base)
-
-	// A1: no uop cache.
-	noDSB := platform.IntelXeon()
-	noDSB.DSBUops = 0
-	if t, err := probe(noDSB, hostmodel.Config{}); err == nil {
-		add("A1 no DSB", t)
-	} else {
-		return nil, err
-	}
-
-	// A2: VIPT constraint lifted — a 128KB 8-way L1I on 4KB pages.
-	bigL1 := platform.IntelXeon()
-	bigL1.L1I = uarch.CacheGeom{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64}
-	bigL1.SkipVIPTCheck = true
-	if t, err := probe(bigL1, hostmodel.Config{}); err == nil {
-		add("A2 non-VIPT 128KB L1I", t)
-	} else {
-		return nil, err
-	}
-
-	// A3: no memory-level parallelism overlap.
-	noMLP := platform.IntelXeon()
-	noMLP.MLPOverlap = 0
-	if t, err := probe(noMLP, hostmodel.Config{}); err == nil {
-		add("A3 no MLP overlap", t)
-	} else {
-		return nil, err
-	}
-
-	// A4: densely packed function layout instead of scattered.
-	packed := hostmodel.DefaultConfig()
-	packed.TextSlots = 2 // forces sequential overflow placement
-	if t, err := probe(platform.IntelXeon(), packed); err == nil {
-		add("A4 packed layout", t)
-	} else {
-		return nil, err
-	}
-
-	// A5: calendar event queue (guest-side; host time via co-sim).
-	calRun, err := core.RunSession(core.SessionConfig{
-		Guest: core.GuestConfig{
-			CPU: core.O3, Mode: core.SE,
-			Workload: "water_nsquared", Scale: scale, CalendarQueue: true,
-		},
-		Host: platform.IntelXeon(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	add("A5 calendar event queue", calRun.SimSeconds())
 
 	res.Notes = append(res.Notes,
 		"ratios > 1 mean slower than the baseline model",

@@ -18,6 +18,26 @@ type Options struct {
 	// tests and benchmarks. The full harness (cmd/experiments) leaves it
 	// false.
 	Quick bool
+	// Jobs bounds how many simulation runs execute concurrently (the
+	// harness's -j flag). 0 means GOMAXPROCS; 1 reproduces the sequential
+	// harness. The rendered output is byte-identical for every value: runs
+	// are independent sessions, results are collected in cell order, and
+	// per-run seeds derive from (experiment id, cell index), never from a
+	// shared RNG.
+	Jobs int
+
+	// runner is the shared worker pool, created lazily from Jobs. RunMany
+	// installs one runner across all its experiments so Jobs bounds the
+	// whole harness, not each experiment separately.
+	runner *Runner
+}
+
+// withRunner returns opt with its worker pool materialized.
+func (o Options) withRunner() Options {
+	if o.runner == nil {
+		o.runner = NewRunner(o.Jobs)
+	}
+	return o
 }
 
 // Row is one labeled series of values.
@@ -63,15 +83,15 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Runner produces one experiment.
-type Runner func(opt Options) (*Result, error)
+// generator produces one experiment.
+type generator func(opt Options) (*Result, error)
 
 var (
 	mu       sync.Mutex
-	registry = map[string]Runner{}
+	registry = map[string]generator{}
 )
 
-func register(id string, r Runner) {
+func register(id string, r generator) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
@@ -90,7 +110,8 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. Its simulation runs fan out on the
+// options' worker pool (see Options.Jobs).
 func Run(id string, opt Options) (*Result, error) {
 	mu.Lock()
 	r, ok := registry[id]
@@ -98,7 +119,7 @@ func Run(id string, opt Options) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(opt)
+	return r(opt.withRunner())
 }
 
 // geomean returns the geometric mean of vs.

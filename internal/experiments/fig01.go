@@ -94,51 +94,70 @@ func fig01Scenarios() []fig01Scenario {
 	}
 }
 
+// fig01Cell is one simulation run of the Fig. 1 sweep: a (scenario, config,
+// workload, platform) tuple in the sequential sweep order.
+type fig01Cell struct {
+	sc   fig01Scenario
+	cfg  fig01Config
+	wl   string
+	host string
+}
+
 // runFig01 reproduces Fig. 1: simulation time of M1_Pro and M1_Ultra
 // normalized to Intel_Xeon across co-running scenarios, geomean over the
-// PARSEC/SPLASH-2x workloads, plus the SMT on/off comparison.
+// PARSEC/SPLASH-2x workloads, plus the SMT on/off comparison. The sweep is
+// flattened into independent cells that fan out on the worker pool; the
+// geomeans are then folded over the collected times in cell order, so the
+// result is identical at any worker count.
 func runFig01(opt Options) (*Result, error) {
 	hosts := map[string]uarch.Config{
 		"Intel_Xeon": platform.IntelXeon(),
 		"M1_Pro":     platform.M1Pro(),
 		"M1_Ultra":   platform.M1Ultra(),
 	}
+	hostOrder := []string{"Intel_Xeon", "M1_Pro", "M1_Ultra"}
 	res := &Result{
 		ID:    "fig01",
 		Title: "Simulation time normalized to Intel_Xeon (geomean; >1 means faster than Xeon)",
 		Cols:  []string{"M1_Pro-speedup", "M1_Ultra-speedup"},
 	}
 
-	time1 := func(host uarch.Config, sc platform.Scenario, cfg fig01Config, wl string) (float64, error) {
-		gc := core.GuestConfig{CPU: cfg.cpu, Mode: cfg.mode, Workload: wl,
-			Scale: fig01Scale(wl, opt.Quick)}
-		if cfg.mode == core.FS {
+	var cells []fig01Cell
+	for _, sc := range fig01Scenarios() {
+		for _, cfg := range fig01Configs(opt.Quick) {
+			for _, wl := range fig01Workloads(opt.Quick) {
+				for _, host := range hostOrder {
+					cells = append(cells, fig01Cell{sc, cfg, wl, host})
+				}
+			}
+		}
+	}
+	times, err := runAll(opt.runner, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		gc := core.GuestConfig{CPU: c.cfg.cpu, Mode: c.cfg.mode, Workload: c.wl,
+			Scale: fig01Scale(c.wl, opt.Quick), Seed: core.DeriveSeed("fig01", i)}
+		if c.cfg.mode == core.FS {
 			gc.BootKBs = 8
 		}
-		r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host, Scenario: sc})
+		r, err := core.RunSession(core.SessionConfig{
+			Guest: gc, Host: hosts[c.host], Scenario: c.sc.procs[c.host]})
 		if err != nil {
-			return 0, fmt.Errorf("fig01 %s %s %s: %w", host.Name, cfg.label, wl, err)
+			return 0, fmt.Errorf("fig01 %s %s %s: %w", c.host, c.cfg.label, c.wl, err)
 		}
 		return r.SimSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var smtOn, smtOff []float64
+	i := 0
 	for _, sc := range fig01Scenarios() {
 		for _, cfg := range fig01Configs(opt.Quick) {
 			var proRatios, ultraRatios []float64
-			for _, wl := range fig01Workloads(opt.Quick) {
-				xeon, err := time1(hosts["Intel_Xeon"], sc.procs["Intel_Xeon"], cfg, wl)
-				if err != nil {
-					return nil, err
-				}
-				pro, err := time1(hosts["M1_Pro"], sc.procs["M1_Pro"], cfg, wl)
-				if err != nil {
-					return nil, err
-				}
-				ultra, err := time1(hosts["M1_Ultra"], sc.procs["M1_Ultra"], cfg, wl)
-				if err != nil {
-					return nil, err
-				}
+			for range fig01Workloads(opt.Quick) {
+				xeon, pro, ultra := times[i], times[i+1], times[i+2]
+				i += len(hostOrder)
 				proRatios = append(proRatios, xeon/pro)
 				ultraRatios = append(ultraRatios, xeon/ultra)
 				switch sc.label {

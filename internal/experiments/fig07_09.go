@@ -15,24 +15,35 @@ func init() {
 }
 
 // platformSet runs water_nsquared for the given CPU models on the three
-// Table II platforms and returns reports keyed [platform][cpu].
+// Table II platforms and returns reports keyed [platform][cpu]. The
+// platform x CPU grid fans out on the worker pool.
 func platformSet(opt Options, cpus []core.CPUModel) (map[string]map[core.CPUModel]uarch.Report, error) {
-	out := map[string]map[core.CPUModel]uarch.Report{}
-	for _, host := range platform.TableIIPlatforms() {
-		out[host.Name] = map[core.CPUModel]uarch.Report{}
-		for _, cpu := range cpus {
-			r, err := core.RunSession(core.SessionConfig{
-				Guest: core.GuestConfig{
-					CPU: cpu, Mode: core.SE,
-					Workload: "water_nsquared", Scale: parsecRepScale(opt),
-				},
-				Host: host,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("platform set %s/%s: %w", host.Name, cpu, err)
-			}
-			out[host.Name][cpu] = r.Host
+	hostList := platform.TableIIPlatforms()
+	reports, err := runAll(opt.runner, len(hostList)*len(cpus), func(i int) (uarch.Report, error) {
+		host, cpu := hostList[i/len(cpus)], cpus[i%len(cpus)]
+		r, err := core.RunSession(core.SessionConfig{
+			Guest: core.GuestConfig{
+				CPU: cpu, Mode: core.SE,
+				Workload: "water_nsquared", Scale: parsecRepScale(opt),
+				Seed: core.DeriveSeed("platformset", i),
+			},
+			Host: host,
+		})
+		if err != nil {
+			return uarch.Report{}, fmt.Errorf("platform set %s/%s: %w", host.Name, cpu, err)
 		}
+		return r.Host, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[core.CPUModel]uarch.Report{}
+	for i, rep := range reports {
+		host, cpu := hostList[i/len(cpus)], cpus[i%len(cpus)]
+		if out[host.Name] == nil {
+			out[host.Name] = map[core.CPUModel]uarch.Report{}
+		}
+		out[host.Name][cpu] = rep
 	}
 	return out, nil
 }
@@ -125,28 +136,36 @@ func runFig09(opt Options) (*Result, error) {
 		Title: "LLC occupancy and DRAM bandwidth utilization on Intel_Xeon",
 		Cols:  []string{"LLC-occupancy-KB", "DRAM-BW-util-%"},
 	}
-	var occs []float64
-	for _, mode := range []core.Mode{core.SE, core.FS} {
-		for _, cpu := range core.AllCPUModels {
-			gc := core.GuestConfig{CPU: cpu, Mode: mode}
-			if mode == core.FS {
-				gc.BootExit = true
-				gc.BootKBs = 16
-			} else {
-				gc.Workload = "water_nsquared"
-				gc.Scale = parsecRepScale(opt)
-			}
-			r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: platform.IntelXeon()})
-			if err != nil {
-				return nil, err
-			}
-			occKB := float64(r.Host.LLCOccupancyBytes) / 1024
-			occs = append(occs, occKB)
-			res.Rows = append(res.Rows, Row{
-				Label:  fmt.Sprintf("%s/%s", mode, cpu),
-				Values: []float64{occKB, pct(r.Host.DRAMBandwidthUtil)},
-			})
+	modes := []core.Mode{core.SE, core.FS}
+	nCPU := len(core.AllCPUModels)
+	reports, err := runAll(opt.runner, len(modes)*nCPU, func(i int) (uarch.Report, error) {
+		mode, cpu := modes[i/nCPU], core.AllCPUModels[i%nCPU]
+		gc := core.GuestConfig{CPU: cpu, Mode: mode, Seed: core.DeriveSeed("fig09", i)}
+		if mode == core.FS {
+			gc.BootExit = true
+			gc.BootKBs = 16
+		} else {
+			gc.Workload = "water_nsquared"
+			gc.Scale = parsecRepScale(opt)
 		}
+		r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: platform.IntelXeon()})
+		if err != nil {
+			return uarch.Report{}, err
+		}
+		return r.Host, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var occs []float64
+	for i, rep := range reports {
+		mode, cpu := modes[i/nCPU], core.AllCPUModels[i%nCPU]
+		occKB := float64(rep.LLCOccupancyBytes) / 1024
+		occs = append(occs, occKB)
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("%s/%s", mode, cpu),
+			Values: []float64{occKB, pct(rep.DRAMBandwidthUtil)},
+		})
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("LLC occupancy %.0f..%.0f KB (paper: 255KB..3.1MB, growing with CPU detail)", minf(occs), maxf(occs)),

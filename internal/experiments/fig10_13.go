@@ -17,16 +17,39 @@ func init() {
 }
 
 // hugePageRun runs the PARSEC representative with a text-backing mode.
-func hugePageRun(opt Options, cpu core.CPUModel, hp uarch.HugePageMode) (*core.SessionResult, error) {
+func hugePageRun(opt Options, cpu core.CPUModel, hp uarch.HugePageMode, seed int64) (*core.SessionResult, error) {
 	host := platform.IntelXeon()
 	host.HugePages = hp
 	return core.RunSession(core.SessionConfig{
 		Guest: core.GuestConfig{
 			CPU: cpu, Mode: core.SE,
 			Workload: "water_nsquared", Scale: parsecRepScale(opt),
+			Seed: seed,
 		},
 		Host: host,
 	})
+}
+
+// hugePageGrid fans the CPU-model x page-mode grid out on the worker pool
+// and returns modeled seconds indexed [cpu][mode].
+func hugePageGrid(opt Options, id string, modes []uarch.HugePageMode) ([][]float64, error) {
+	cpus := core.AllCPUModels
+	times, err := runAll(opt.runner, len(cpus)*len(modes), func(i int) (float64, error) {
+		cpu, hp := cpus[i/len(modes)], modes[i%len(modes)]
+		r, err := hugePageRun(opt, cpu, hp, core.DeriveSeed(id, i))
+		if err != nil {
+			return 0, err
+		}
+		return r.SimSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(cpus))
+	for ci := range cpus {
+		out[ci] = times[ci*len(modes) : (ci+1)*len(modes)]
+	}
+	return out, nil
 }
 
 // runFig10 reproduces Fig. 10: simulation speedup from backing gem5's code
@@ -37,22 +60,16 @@ func runFig10(opt Options) (*Result, error) {
 		Title: "Speedup from huge-page code backing on Intel_Xeon (%)",
 		Cols:  []string{"THP-speedup-%", "EHP-speedup-%"},
 	}
+	grid, err := hugePageGrid(opt, "fig10",
+		[]uarch.HugePageMode{uarch.PagesBase, uarch.PagesTHP, uarch.PagesEHP})
+	if err != nil {
+		return nil, err
+	}
 	var best float64
-	for _, cpu := range core.AllCPUModels {
-		base, err := hugePageRun(opt, cpu, uarch.PagesBase)
-		if err != nil {
-			return nil, err
-		}
-		thp, err := hugePageRun(opt, cpu, uarch.PagesTHP)
-		if err != nil {
-			return nil, err
-		}
-		ehp, err := hugePageRun(opt, cpu, uarch.PagesEHP)
-		if err != nil {
-			return nil, err
-		}
-		thpGain := pct(base.SimSeconds()/thp.SimSeconds() - 1)
-		ehpGain := pct(base.SimSeconds()/ehp.SimSeconds() - 1)
+	for ci, cpu := range core.AllCPUModels {
+		base, thp, ehp := grid[ci][0], grid[ci][1], grid[ci][2]
+		thpGain := pct(base/thp - 1)
+		ehpGain := pct(base/ehp - 1)
 		if thpGain > best {
 			best = thpGain
 		}
@@ -76,16 +93,17 @@ func runFig11(opt Options) (*Result, error) {
 		Title: "THP effect on iTLB overhead and retiring cycles on Intel_Xeon",
 		Cols:  []string{"iTLB-overhead-reduction-%", "retiring-improvement-%"},
 	}
+	modes := []uarch.HugePageMode{uarch.PagesBase, uarch.PagesTHP}
+	runs, err := runAll(opt.runner, len(core.AllCPUModels)*len(modes), func(i int) (*core.SessionResult, error) {
+		cpu, hp := core.AllCPUModels[i/len(modes)], modes[i%len(modes)]
+		return hugePageRun(opt, cpu, hp, core.DeriveSeed("fig11", i))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var reductions []float64
-	for _, cpu := range core.AllCPUModels {
-		base, err := hugePageRun(opt, cpu, uarch.PagesBase)
-		if err != nil {
-			return nil, err
-		}
-		thp, err := hugePageRun(opt, cpu, uarch.PagesTHP)
-		if err != nil {
-			return nil, err
-		}
+	for ci, cpu := range core.AllCPUModels {
+		base, thp := runs[ci*len(modes)], runs[ci*len(modes)+1]
 		reduction := 0.0
 		if b := base.Host.TopDown.FELatITLB; b > 0 {
 			reduction = pct(1 - thp.Host.TopDown.FELatITLB/b)
@@ -110,23 +128,33 @@ func runFig12(opt Options) (*Result, error) {
 		Cols:  []string{"atomic-%", "o3-%", "mean-%"},
 	}
 	cpus := []core.CPUModel{core.Atomic, core.O3}
-	for _, host := range platform.TableIIPlatforms() {
+	hostList := platform.TableIIPlatforms()
+	perHost := len(cpus) * 2 // (base, -O3 build) per CPU model
+	times, err := runAll(opt.runner, len(hostList)*perHost, func(i int) (float64, error) {
+		host := hostList[i/perHost]
+		cpu := cpus[i%perHost/2]
+		gc := core.GuestConfig{CPU: cpu, Mode: core.SE,
+			Workload: "water_nsquared", Scale: parsecRepScale(opt),
+			Seed: core.DeriveSeed("fig12", i)}
+		sc := core.SessionConfig{Guest: gc, Host: host}
+		if i%2 == 1 { // the -O3 (smaller binary) build
+			sc.HostCode = hostmodel.Config{SizeFactor: 0.97}
+		}
+		r, err := core.RunSession(sc)
+		if err != nil {
+			return 0, err
+		}
+		return r.SimSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi, host := range hostList {
 		var gains []float64
-		for _, cpu := range cpus {
-			gc := core.GuestConfig{CPU: cpu, Mode: core.SE,
-				Workload: "water_nsquared", Scale: parsecRepScale(opt)}
-			base, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host})
-			if err != nil {
-				return nil, err
-			}
-			o3b, err := core.RunSession(core.SessionConfig{
-				Guest: gc, Host: host,
-				HostCode: hostmodel.Config{SizeFactor: 0.97},
-			})
-			if err != nil {
-				return nil, err
-			}
-			gains = append(gains, pct(base.SimSeconds()/o3b.SimSeconds()-1))
+		for ci := range cpus {
+			base := times[hi*perHost+ci*2]
+			o3b := times[hi*perHost+ci*2+1]
+			gains = append(gains, pct(base/o3b-1))
 		}
 		res.Rows = append(res.Rows, Row{
 			Label:  host.Name,
@@ -149,19 +177,24 @@ func runFig13(opt Options) (*Result, error) {
 	}
 	freqs := []float64{1.2, 1.6, 2.1, 2.6, 3.1, 4.1} // 4.1 = Turbo Boost
 	baseTime := 0.0
-	gc := core.GuestConfig{CPU: core.Timing, Mode: core.SE,
-		Workload: "water_nsquared", Scale: parsecRepScale(opt)}
-	times := make([]float64, len(freqs))
-	for i, f := range freqs {
+	times, err := runAll(opt.runner, len(freqs), func(i int) (float64, error) {
+		gc := core.GuestConfig{CPU: core.Timing, Mode: core.SE,
+			Workload: "water_nsquared", Scale: parsecRepScale(opt),
+			Seed: core.DeriveSeed("fig13", i)}
 		host := platform.IntelXeon()
-		host.FreqGHz = f
+		host.FreqGHz = freqs[i]
 		r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		times[i] = r.SimSeconds()
+		return r.SimSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range freqs {
 		if f == 3.1 {
-			baseTime = r.SimSeconds()
+			baseTime = times[i]
 		}
 	}
 	for i, f := range freqs {

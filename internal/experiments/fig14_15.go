@@ -43,32 +43,27 @@ func runFig14(opt Options) (*Result, error) {
 		Title: "gem5-on-FireSim speedup vs host cache configuration (baseline 8KB/2:8KB/2:512KB/8 = 1.0)",
 		Cols:  []string{"atomic", "timing", "o3"},
 	}
-	base := map[core.CPUModel]float64{}
-	type key struct {
-		cfg int
-		cpu core.CPUModel
-	}
-	times := map[key]float64{}
 	geoms := fig14Geometries()
-	for ci, host := range geoms {
-		for _, cpu := range fig14CPUs {
-			r, err := core.RunSession(core.SessionConfig{
-				Guest: core.GuestConfig{CPU: cpu, Mode: core.SE, Workload: "sieve", Scale: scale},
-				Host:  host,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%s: %w", host.Name, cpu, err)
-			}
-			times[key{ci, cpu}] = r.SimSeconds()
-			if ci == 0 {
-				base[cpu] = r.SimSeconds()
-			}
+	nCPU := len(fig14CPUs)
+	times, err := runAll(opt.runner, len(geoms)*nCPU, func(i int) (float64, error) {
+		host, cpu := geoms[i/nCPU], fig14CPUs[i%nCPU]
+		r, err := core.RunSession(core.SessionConfig{
+			Guest: core.GuestConfig{CPU: cpu, Mode: core.SE, Workload: "sieve",
+				Scale: scale, Seed: core.DeriveSeed("fig14", i)},
+			Host: host,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fig14 %s/%s: %w", host.Name, cpu, err)
 		}
+		return r.SimSeconds(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for ci, host := range geoms {
 		row := Row{Label: host.Name}
-		for _, cpu := range fig14CPUs {
-			row.Values = append(row.Values, base[cpu]/times[key{ci, cpu}])
+		for cj := range fig14CPUs {
+			row.Values = append(row.Values, times[cj]/times[ci*nCPU+cj])
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -101,17 +96,21 @@ func runFig15(opt Options) (*Result, error) {
 	paperCalled := map[core.CPUModel]int{
 		core.Atomic: 1602, core.Timing: 2557, core.Minor: 3957, core.O3: 5209,
 	}
-	var hottest []float64
-	for _, cpu := range core.AllCPUModels {
-		r, err := core.RunSession(core.SessionConfig{
-			Guest: core.GuestConfig{CPU: cpu, Mode: core.SE,
-				Workload: "water_nsquared", Scale: parsecRepScale(opt)},
+	runs, err := runAll(opt.runner, len(core.AllCPUModels), func(i int) (*core.SessionResult, error) {
+		return core.RunSession(core.SessionConfig{
+			Guest: core.GuestConfig{CPU: core.AllCPUModels[i], Mode: core.SE,
+				Workload: "water_nsquared", Scale: parsecRepScale(opt),
+				Seed: core.DeriveSeed("fig15", i)},
 			Host:    platform.IntelXeon(),
 			Profile: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var hottest []float64
+	for ci, cpu := range core.AllCPUModels {
+		r := runs[ci]
 		cdf := r.Prof.CDF(50)
 		top1 := pct(cdf[0])
 		top10 := pct(cdf[min(9, len(cdf)-1)])

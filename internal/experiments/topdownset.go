@@ -72,48 +72,54 @@ func parsecRepScale(opt Options) int {
 }
 
 // runTopdownSet measures every Fig. 2-6 configuration once per process and
-// caches the reports.
+// caches the reports. The eleven configurations are independent sessions, so
+// they fan out on the options' worker pool; reports are collected in
+// configuration order, which keeps the cached set identical to the
+// sequential measurement.
 func runTopdownSet(opt Options) (*tdSet, error) {
 	tdMu.Lock()
 	defer tdMu.Unlock()
 	if s, ok := tdCache[opt.Quick]; ok {
 		return s, nil
 	}
-	set := &tdSet{}
 	specBlocks := 600_000
 	bootKBs := 24
 	if opt.Quick {
 		specBlocks = 150_000
 		bootKBs = 8
 	}
-	for _, cfg := range topdownConfigs() {
-		var rep uarch.Report
-		switch {
-		case cfg.IsSpec:
+	cfgs := topdownConfigs()
+	reports, err := runAll(opt.runner, len(cfgs), func(i int) (uarch.Report, error) {
+		cfg := cfgs[i]
+		if cfg.IsSpec {
 			p, err := spec.ByName(cfg.SpecName)
 			if err != nil {
-				return nil, err
+				return uarch.Report{}, err
 			}
-			rep = p.Run(uarch.NewMachine(platform.IntelXeon()), specBlocks)
-		default:
-			gc := core.GuestConfig{CPU: cfg.CPU}
-			if cfg.BootExit {
-				gc.Mode = core.FS
-				gc.BootExit = true
-				gc.BootKBs = bootKBs
-			} else {
-				gc.Mode = core.SE
-				gc.Workload = "water_nsquared"
-				gc.Scale = parsecRepScale(opt)
-			}
-			res, err := core.RunSession(core.SessionConfig{Guest: gc, Host: platform.IntelXeon()})
-			if err != nil {
-				return nil, fmt.Errorf("topdown set %s: %w", cfg.Label, err)
-			}
-			rep = res.Host
+			return p.Run(uarch.NewMachine(platform.IntelXeon()), specBlocks), nil
 		}
+		gc := core.GuestConfig{CPU: cfg.CPU, Seed: core.DeriveSeed("topdownset", i)}
+		if cfg.BootExit {
+			gc.Mode = core.FS
+			gc.BootExit = true
+			gc.BootKBs = bootKBs
+		} else {
+			gc.Mode = core.SE
+			gc.Workload = "water_nsquared"
+			gc.Scale = parsecRepScale(opt)
+		}
+		res, err := core.RunSession(core.SessionConfig{Guest: gc, Host: platform.IntelXeon()})
+		if err != nil {
+			return uarch.Report{}, fmt.Errorf("topdown set %s: %w", cfg.Label, err)
+		}
+		return res.Host, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := &tdSet{reports: reports}
+	for _, cfg := range cfgs {
 		set.labels = append(set.labels, cfg.Label)
-		set.reports = append(set.reports, rep)
 	}
 	tdCache[opt.Quick] = set
 	return set, nil

@@ -62,7 +62,15 @@ func (q *CalendarQueue) Schedule(e *Event, when Tick) {
 		q.over = append(q.over, e)
 		return
 	}
-	idx := (q.cur + int((when-q.base)/q.width)) % len(q.buckets)
+	// A NextTick-driven slide or jump can move the window start past Now()
+	// without firing anything, so a legal schedule (when >= q.now) may still
+	// land below q.base; (when-q.base)/q.width would underflow into a garbage
+	// bucket. Clamp such events into the current bucket: peek min-scans it,
+	// so an earlier-than-window event still fires first.
+	idx := q.cur
+	if when >= q.base {
+		idx = (q.cur + int((when-q.base)/q.width)) % len(q.buckets)
+	}
 	e.pos = idx
 	q.buckets[idx] = append(q.buckets[idx], e)
 }
@@ -114,6 +122,13 @@ func (q *CalendarQueue) ServiceOne() bool {
 	e := q.peek()
 	if e == nil {
 		return false
+	}
+	if e.when < q.now {
+		// Guards Now() monotonicity against filing bugs: peek's window
+		// slide/jump rewrites q.base/q.cur without consulting q.now, so a
+		// mis-bucketed event would surface here as time running backwards.
+		panic(fmt.Sprintf("sim: calendar queue time ran backwards: event %s at %d, now %d",
+			e.name, e.when, q.now))
 	}
 	q.Deschedule(e)
 	q.now = e.when
@@ -175,6 +190,50 @@ func (q *CalendarQueue) pullOverflow(idx int, lo, hi Tick) {
 		q.over[i] = nil
 	}
 	q.over = kept
+}
+
+// checkInvariant validates the queue's structural invariants; the tests and
+// the equivalence fuzz target call it after every mutation. The window base
+// may legitimately sit ahead of Now() — a NextTick-driven slide or jump moves
+// q.base without firing anything — so the monotonicity invariant takes its
+// fixed form: whenever q.base > q.now, any ring event below the window start
+// must be clamped into the current bucket (see Schedule), which is what keeps
+// the service order correct.
+func (q *CalendarQueue) checkInvariant() error {
+	n := len(q.over)
+	for _, ev := range q.over {
+		if ev.pos != overflowPos {
+			return fmt.Errorf("calendar: overflow event %s has pos %d", ev.name, ev.pos)
+		}
+		if ev.when < q.horizon() {
+			return fmt.Errorf("calendar: overflow event %s at %d is below the horizon %d", ev.name, ev.when, q.horizon())
+		}
+	}
+	for i, b := range q.buckets {
+		n += len(b)
+		for _, ev := range b {
+			if ev.pos != i {
+				return fmt.Errorf("calendar: event %s in bucket %d has pos %d", ev.name, i, ev.pos)
+			}
+			if ev.when >= q.horizon() {
+				return fmt.Errorf("calendar: event %s at %d in bucket %d is past the horizon %d", ev.name, ev.when, i, q.horizon())
+			}
+			if ev.when >= q.base {
+				want := (q.cur + int((ev.when-q.base)/q.width)) % len(q.buckets)
+				if i != want {
+					return fmt.Errorf("calendar: event %s at %d filed in bucket %d, want %d (base %d width %d cur %d)",
+						ev.name, ev.when, i, want, q.base, q.width, q.cur)
+				}
+			} else if i != q.cur {
+				return fmt.Errorf("calendar: event %s at %d is below the window start %d but filed in bucket %d, not the current bucket %d",
+					ev.name, ev.when, q.base, i, q.cur)
+			}
+		}
+	}
+	if n != q.size {
+		return fmt.Errorf("calendar: size %d but %d events filed", q.size, n)
+	}
+	return nil
 }
 
 // redistribute re-files every overflow event that now falls inside the window.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -196,59 +195,77 @@ func TestQueueEquivalence(t *testing.T) {
 	}
 }
 
-// TestQueueEquivalenceDynamic drives both backends through an identical
-// random mixed workload of schedules, deschedules, and reschedules issued
-// from inside event callbacks.
-func TestQueueEquivalenceDynamic(t *testing.T) {
-	type rec struct {
-		id int
-		at Tick
+// TestQueueEquivalenceDynamic was promoted to the native fuzz target
+// FuzzQueueEquivalence (queue_fuzz_test.go); the seed corpus there covers the
+// random mixed schedule/deschedule/reschedule streams this test used to
+// drive, plus the window-slide regressions below.
+
+// TestCalendarScheduleAfterWindowJump is a regression test: NextTick on a
+// queue whose ring is empty jumps the window (q.base) to the earliest
+// overflow event without firing anything, so q.base can land far past
+// q.Now(). Scheduling at Now() immediately afterwards is legal, but the
+// bucket index (when-base)/width underflowed and filed the event into a
+// garbage bucket, firing it out of order.
+func TestCalendarScheduleAfterWindowJump(t *testing.T) {
+	q := NewCalendarQueue(4, 10) // horizon of 40 ticks
+	var got []Tick
+	add := func(when Tick) {
+		q.Schedule(NewEvent("e", 0, func() { got = append(got, when) }), when)
 	}
-	run := func(q Queue, seed int64) []rec {
-		rng := rand.New(rand.NewSource(seed))
-		var log []rec
-		events := make([]*Event, 40)
-		for i := range events {
-			id := i
-			events[i] = NewEvent("e", 0, func() {
-				log = append(log, rec{id, q.Now()})
-				// Random follow-on action.
-				switch rng.Intn(4) {
-				case 0:
-					j := rng.Intn(len(events))
-					if !events[j].Scheduled() {
-						q.Schedule(events[j], q.Now()+Tick(rng.Intn(300)))
-					}
-				case 1:
-					j := rng.Intn(len(events))
-					if events[j].Scheduled() {
-						q.Deschedule(events[j])
-					}
-				case 2:
-					j := rng.Intn(len(events))
-					q.Reschedule(events[j], q.Now()+Tick(1+rng.Intn(500)))
-				}
-			})
-		}
-		for i, e := range events {
-			q.Schedule(e, Tick(rng.Intn(1000)))
-			_ = i
-		}
-		for n := 0; n < 5000 && q.ServiceOne(); n++ {
-		}
-		return log
+	add(1_000_000) // far future: overflow area
+	if nt := q.NextTick(); nt != 1_000_000 {
+		t.Fatalf("NextTick = %d, want 1000000", nt)
 	}
-	for seed := int64(1); seed <= 10; seed++ {
-		h := run(NewHeapQueue(), seed)
-		c := run(NewCalendarQueue(32, 64), seed)
-		if len(h) != len(c) {
-			t.Fatalf("seed %d: heap fired %d, calendar fired %d", seed, len(h), len(c))
+	// The jump moved the window to t=1M while Now() is still 0.
+	if q.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", q.Now())
+	}
+	add(q.Now()) // schedule at Now() right after the jump
+	add(5)
+	if err := q.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for q.ServiceOne() {
+		if err := q.checkInvariant(); err != nil {
+			t.Fatal(err)
 		}
-		for i := range h {
-			if h[i] != c[i] {
-				t.Fatalf("seed %d: divergence at %d: heap %v calendar %v", seed, i, h[i], c[i])
-			}
+	}
+	want := []Tick{0, 5, 1_000_000}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
 		}
+	}
+}
+
+// TestCalendarScheduleAfterWindowSlide is the sliding variant of the jump
+// regression: NextTick slides the window bucket-by-bucket past Now() to reach
+// a ring event, then a schedule below the new q.base must still fire first.
+func TestCalendarScheduleAfterWindowSlide(t *testing.T) {
+	q := NewCalendarQueue(4, 10)
+	var got []Tick
+	add := func(when Tick) {
+		q.Schedule(NewEvent("e", 0, func() { got = append(got, when) }), when)
+	}
+	add(35) // three buckets ahead: NextTick slides base to 30
+	if nt := q.NextTick(); nt != 35 {
+		t.Fatalf("NextTick = %d, want 35", nt)
+	}
+	add(2) // below the slid window start, above Now()
+	if err := q.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for q.ServiceOne() {
+		if err := q.checkInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []Tick{2, 35}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fired %v, want %v", got, want)
 	}
 }
 
