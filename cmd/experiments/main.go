@@ -3,6 +3,12 @@
 // Usage:
 //
 //	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-o out.txt]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -cpuprofile and -memprofile write pprof profiles of the harness itself
+// (the tool the paper applies to gem5, applied to our reproduction of it),
+// which is how the hot-path work in internal/uarch, internal/hostmodel and
+// internal/mem is measured before and after.
 //
 // Each experiment prints an aligned table whose rows mirror the series of
 // the corresponding figure, plus notes comparing the measured shape with the
@@ -23,6 +29,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,11 +37,46 @@ import (
 )
 
 func main() {
+	// Indirection so deferred profile writers run before the process
+	// exits, even when experiments fail.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "use reduced workload sets and problem sizes")
 	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
 	outPath := flag.String("o", "", "also write the report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	ids := experiments.IDs()
 	if *runList != "all" {
@@ -46,7 +88,7 @@ func main() {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
@@ -69,6 +111,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total: %v (-j %d)\n", time.Since(start).Round(time.Millisecond), *jobs)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

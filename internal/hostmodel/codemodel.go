@@ -309,6 +309,10 @@ func (f *fnMeta) buildTraces(seed uint64, uopScale float64) {
 			frac *= 0.55
 		}
 		covered := uint32(float64(f.size) * frac)
+		// Blocks are at least 16 bytes, so covered/16+1 bounds the step
+		// count: one allocation per trace instead of append regrowth
+		// (which dominated session-construction allocations).
+		f.traces[t] = make([]traceStep, 0, covered/16+1)
 		pos := uint64(0)
 		callSlot := 0
 		for covered > 0 {

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gem5prof/internal/sim"
 )
@@ -65,18 +66,30 @@ type pendingReq struct {
 }
 
 // Cache is one level of a classic write-back, write-allocate cache with LRU
-// replacement and a bounded MSHR file.
+// replacement and a bounded MSHR file. The line array is one contiguous
+// set-major slice (lines[set*ways+way]) with the block/set shifts computed
+// once at construction, so the per-access path has no divisions and no
+// per-set pointer chase.
 type Cache struct {
 	sys  *sim.System
 	cfg  CacheConfig
 	next Port
 
-	sets    [][]cacheLine
-	numSets uint32
-	lruSeq  uint64
+	lines      []cacheLine // numSets × ways, set-major
+	numSets    uint32
+	ways       uint32
+	blockShift uint
+	setBits    uint
+	lruSeq     uint64
 
 	mshrs   map[uint32]*mshr
 	pending []pendingReq
+
+	// Event names are per-access in the timing path; building them with
+	// string concatenation there showed up as steady allocation traffic.
+	nameHitResp string
+	nameMissFwd string
+	nameFill    string
 
 	// Stride-prefetcher state: last demand block, last delta, confidence.
 	strideLast  uint32
@@ -105,15 +118,18 @@ func NewCache(sys *sim.System, cfg CacheConfig, next Port) *Cache {
 	}
 	numSets := cfg.SizeBytes / (uint32(cfg.Ways) * cfg.BlockBytes)
 	c := &Cache{
-		sys:     sys,
-		cfg:     cfg,
-		next:    next,
-		numSets: numSets,
-		sets:    make([][]cacheLine, numSets),
-		mshrs:   make(map[uint32]*mshr),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, cfg.Ways)
+		sys:         sys,
+		cfg:         cfg,
+		next:        next,
+		numSets:     numSets,
+		ways:        uint32(cfg.Ways),
+		blockShift:  uint(bits.TrailingZeros32(cfg.BlockBytes)),
+		setBits:     uint(bits.TrailingZeros32(numSets)),
+		lines:       make([]cacheLine, numSets*uint32(cfg.Ways)),
+		mshrs:       make(map[uint32]*mshr),
+		nameHitResp: cfg.Name + ".hitResp",
+		nameMissFwd: cfg.Name + ".missFwd",
+		nameFill:    cfg.Name + ".fillResp",
 	}
 	tr := sys.Tracer()
 	c.fnAccess = tr.RegisterFunc(cfg.Name+"::access", 1400, sim.FuncVirtual|sim.FuncHot)
@@ -155,16 +171,20 @@ func (c *Cache) MissRate() float64 {
 }
 
 func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
-	block := blockAlign(addr, c.cfg.BlockBytes)
-	set = (block / c.cfg.BlockBytes) & (c.numSets - 1)
-	tag = block / (c.cfg.BlockBytes * c.numSets)
-	return set, tag
+	blockNum := addr >> c.blockShift
+	return blockNum & (c.numSets - 1), blockNum >> c.setBits
+}
+
+// set returns the contiguous line window of one set.
+func (c *Cache) set(set uint32) []cacheLine {
+	base := set * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // lookup returns the line holding addr, or nil.
 func (c *Cache) lookup(addr uint32) *cacheLine {
 	set, tag := c.index(addr)
-	lines := c.sets[set]
+	lines := c.set(set)
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			return &lines[i]
@@ -182,7 +202,7 @@ func (c *Cache) touch(l *cacheLine) {
 // victim returns the LRU line of addr's set, preferring invalid lines.
 func (c *Cache) victim(addr uint32) *cacheLine {
 	set, _ := c.index(addr)
-	lines := c.sets[set]
+	lines := c.set(set)
 	best := &lines[0]
 	for i := range lines {
 		l := &lines[i]
@@ -209,8 +229,9 @@ func (c *Cache) fill(addr uint32, dirty bool, atomic bool) (wbLatency sim.Tick) 
 	if v.valid && v.dirty {
 		c.writebacks.Inc()
 		c.sys.Tracer().Call(c.fnWriteback)
+		set, _ := c.index(addr)
 		wb := Access{
-			Addr:  (v.tag*c.numSets + (blockAlign(addr, c.cfg.BlockBytes)/c.cfg.BlockBytes)&(c.numSets-1)) * c.cfg.BlockBytes,
+			Addr:  (v.tag<<c.setBits | set) << c.blockShift,
 			Size:  uint8(c.cfg.BlockBytes),
 			Write: true,
 		}
@@ -263,7 +284,7 @@ func (c *Cache) SendTiming(acc Access, done func()) {
 		if acc.Write {
 			l.dirty = true
 		}
-		ev := sim.NewEvent(c.cfg.Name+".hitResp", c.fnAccess, done)
+		ev := sim.NewEvent(c.nameHitResp, c.fnAccess, done)
 		c.sys.ScheduleIn(ev, c.cfg.HitLatency)
 		return
 	}
@@ -301,7 +322,7 @@ func (c *Cache) allocMSHR(acc Access, done func(), prefetch bool) {
 	}
 	c.mshrs[block] = m
 	fetch := Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst}
-	c.sys.ScheduleIn(sim.NewEvent(c.cfg.Name+".missFwd", c.fnAccess, func() {
+	c.sys.ScheduleIn(sim.NewEvent(c.nameMissFwd, c.fnAccess, func() {
 		c.next.SendTiming(fetch, func() { c.handleFill(m) })
 	}), c.cfg.HitLatency)
 	if !prefetch {
@@ -356,7 +377,7 @@ func (c *Cache) handleFill(m *mshr) {
 	delete(c.mshrs, m.blockAddr)
 	c.fill(m.blockAddr, m.write, false)
 	for _, w := range m.waiters {
-		ev := sim.NewEvent(c.cfg.Name+".fillResp", c.fnFill, w)
+		ev := sim.NewEvent(c.nameFill, c.fnFill, w)
 		c.sys.ScheduleIn(ev, c.cfg.ResponseLatency)
 	}
 	// Service a queued request now that an MSHR is free.

@@ -1,0 +1,202 @@
+package mem
+
+// Differential tests: the flattened guest cache and the O(1) guest TLB
+// must match the naive pre-refactor implementations access-for-access —
+// same hits and misses, same victims (observed through the downstream
+// writeback stream), same latencies.
+
+import (
+	"math/rand"
+	"testing"
+
+	"gem5prof/internal/sim"
+)
+
+// naiveGuestCache replicates the pre-refactor cache state: per-set line
+// slices, division-based indexing, scan-based LRU victims. It models the
+// atomic path (lookup → fill → writeback) and reports what the old code
+// observably did for each access.
+type naiveGuestCache struct {
+	cfg     CacheConfig
+	sets    [][]cacheLine
+	numSets uint32
+	lruSeq  uint64
+}
+
+func newNaiveGuestCache(cfg CacheConfig) *naiveGuestCache {
+	numSets := cfg.SizeBytes / (uint32(cfg.Ways) * cfg.BlockBytes)
+	c := &naiveGuestCache{cfg: cfg, numSets: numSets, sets: make([][]cacheLine, numSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return c
+}
+
+func (c *naiveGuestCache) index(addr uint32) (set uint32, tag uint32) {
+	block := blockAlign(addr, c.cfg.BlockBytes)
+	set = (block / c.cfg.BlockBytes) & (c.numSets - 1)
+	tag = block / (c.cfg.BlockBytes * c.numSets)
+	return set, tag
+}
+
+// access performs one atomic access and returns (hit, writebackAddr,
+// wroteBack).
+func (c *naiveGuestCache) access(acc Access) (bool, uint32, bool) {
+	set, tag := c.index(acc.Addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.lruSeq++
+			lines[i].lru = c.lruSeq
+			if acc.Write {
+				lines[i].dirty = true
+			}
+			return true, 0, false
+		}
+	}
+	// Miss: fill over the LRU victim, writing back dirty lines.
+	victim := &lines[0]
+	for i := range lines {
+		l := &lines[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	var wbAddr uint32
+	var wrote bool
+	if victim.valid && victim.dirty {
+		wbAddr = (victim.tag*c.numSets + set) * c.cfg.BlockBytes
+		wrote = true
+	}
+	victim.tag = tag
+	victim.valid = true
+	victim.dirty = acc.Write
+	c.lruSeq++
+	victim.lru = c.lruSeq
+	return false, wbAddr, wrote
+}
+
+// TestCacheDifferential drives the real cache's atomic path and the
+// naive reference with identical randomized streams, comparing hit/miss
+// outcomes and the downstream writeback traffic on every access.
+func TestCacheDifferential(t *testing.T) {
+	cfgs := []CacheConfig{
+		{Name: "d1", SizeBytes: 1 << 10, Ways: 4, BlockBytes: 64, HitLatency: 1, ResponseLatency: 1, MSHRs: 4},
+		{Name: "d2", SizeBytes: 32 << 10, Ways: 8, BlockBytes: 64, HitLatency: 1, ResponseLatency: 1, MSHRs: 4},
+		{Name: "d3", SizeBytes: 4 << 10, Ways: 1, BlockBytes: 32, HitLatency: 1, ResponseLatency: 1, MSHRs: 4},
+	}
+	for ci, cfg := range cfgs {
+		sys := sim.NewSystem(1)
+		stub := &stubPort{sys: sys, latency: 7}
+		c := NewCache(sys, cfg, stub)
+		ref := newNaiveGuestCache(cfg)
+		rng := rand.New(rand.NewSource(int64(ci)*1299721 + 5))
+		footprint := 4 * cfg.SizeBytes
+		for i := 0; i < 50000; i++ {
+			acc := Access{
+				Addr:  rng.Uint32() % footprint,
+				Size:  8,
+				Write: rng.Intn(3) == 0,
+			}
+			hitsBefore := c.Hits()
+			wbBefore := len(stub.reqs)
+			c.AtomicLatency(acc)
+			gotHit := c.Hits() > hitsBefore
+			wantHit, wantWB, wantWrote := ref.access(acc)
+			if gotHit != wantHit {
+				t.Fatalf("cfg %d step %d addr %#x: hit=%v want %v", ci, i, acc.Addr, gotHit, wantHit)
+			}
+			// On a miss the downstream sees the block fetch and, when the
+			// victim was dirty, its writeback — victim-for-victim equality.
+			var gotWB []Access
+			if !gotHit {
+				gotWB = stub.reqs[wbBefore:]
+				want := 1
+				if wantWrote {
+					want = 2
+				}
+				if len(gotWB) != want {
+					t.Fatalf("cfg %d step %d: %d downstream reqs, want %d", ci, i, len(gotWB), want)
+				}
+				if wantWrote {
+					wb := gotWB[len(gotWB)-1]
+					if !wb.Write || wb.Addr != wantWB {
+						t.Fatalf("cfg %d step %d: writeback %+v, want addr %#x", ci, i, wb, wantWB)
+					}
+				}
+			}
+		}
+		if c.Misses() == 0 || c.Hits() == 0 {
+			t.Fatalf("cfg %d: degenerate stream (hits %d misses %d)", ci, c.Hits(), c.Misses())
+		}
+	}
+}
+
+// naiveGuestTLB is the pre-refactor scan-based TLB entry file.
+type naiveGuestTLB struct {
+	entries []struct {
+		page  uint32
+		lru   uint64
+		valid bool
+	}
+	seq       uint64
+	pageBytes uint32
+}
+
+func newNaiveGuestTLB(entries int, pageBytes uint32) *naiveGuestTLB {
+	t := &naiveGuestTLB{pageBytes: pageBytes}
+	t.entries = make([]struct {
+		page  uint32
+		lru   uint64
+		valid bool
+	}, entries)
+	return t
+}
+
+func (t *naiveGuestTLB) lookup(addr uint32) bool {
+	page := addr / t.pageBytes
+	t.seq++
+	victim := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.seq
+			return true
+		}
+		if !e.valid {
+			victim = e
+		} else if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	victim.page = page
+	victim.valid = true
+	victim.lru = t.seq
+	return false
+}
+
+// TestTLBDifferential pins the O(1) guest TLB to the naive scan on
+// randomized address streams: identical hit/miss sequences mean
+// identical charged walk latencies.
+func TestTLBDifferential(t *testing.T) {
+	for _, entries := range []int{1, 4, 64} {
+		sys := sim.NewSystem(1)
+		stub := &stubPort{sys: sys, latency: 3}
+		tl := NewTLB(sys, TLBConfig{Name: "dtlb", Entries: entries, PageBytes: 4096, MissLatency: 20}, stub)
+		ref := newNaiveGuestTLB(entries, 4096)
+		rng := rand.New(rand.NewSource(int64(entries) * 77))
+		for i := 0; i < 40000; i++ {
+			addr := rng.Uint32() % uint32(8*entries*4096)
+			missBefore := tl.Misses()
+			tl.AtomicLatency(Access{Addr: addr, Size: 8})
+			gotHit := tl.Misses() == missBefore
+			if wantHit := ref.lookup(addr); gotHit != wantHit {
+				t.Fatalf("entries=%d step %d addr %#x: hit=%v want %v", entries, i, addr, gotHit, wantHit)
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package mem
 
-import "gem5prof/internal/sim"
+import (
+	"gem5prof/internal/lruidx"
+	"gem5prof/internal/sim"
+)
 
 // TLBConfig sets the geometry of a guest translation lookaside buffer.
 type TLBConfig struct {
@@ -17,19 +20,19 @@ type TLBConfig struct {
 // g5 guest uses identity mapping (physical == virtual), so the TLB models
 // only the *timing* of translation, mirroring how the classic gem5 memory
 // system charges TLB latency independently of the page-table contents.
+//
+// Replacement is exact LRU via an O(1) lruidx.Index rather than the
+// original O(entries) scan; TestTLBDifferential pins the two to the same
+// hit/miss and victim sequence.
 type TLB struct {
 	sys  *sim.System
 	cfg  TLBConfig
 	next Port
 
-	entries []struct {
-		page  uint32
-		lru   uint64
-		valid bool
-	}
-	seq uint64
+	idx *lruidx.Index
 
 	fnLookup sim.FuncID
+	nameWalk string
 
 	hits   *sim.Counter
 	misses *sim.Counter
@@ -43,13 +46,9 @@ func NewTLB(sys *sim.System, cfg TLBConfig, next Port) *TLB {
 	if next == nil {
 		panic("mem: TLB needs a downstream port")
 	}
-	t := &TLB{sys: sys, cfg: cfg, next: next}
-	t.entries = make([]struct {
-		page  uint32
-		lru   uint64
-		valid bool
-	}, cfg.Entries)
+	t := &TLB{sys: sys, cfg: cfg, next: next, idx: lruidx.New(cfg.Entries)}
 	t.fnLookup = sys.Tracer().RegisterFunc(cfg.Name+"::translateTiming", 1900, sim.FuncVirtual)
+	t.nameWalk = cfg.Name + ".walk"
 	st := sys.Stats()
 	t.hits = st.Counter(cfg.Name+".hits", "TLB hits")
 	t.misses = st.Counter(cfg.Name+".misses", "TLB misses (table walks)")
@@ -78,26 +77,14 @@ func (t *TLB) MissRate() float64 {
 // lookup probes and fills the entry file; returns true on hit.
 func (t *TLB) lookup(addr uint32) bool {
 	t.sys.Tracer().Call(t.fnLookup)
-	page := addr / t.cfg.PageBytes
-	t.seq++
-	victim := &t.entries[0]
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.page == page {
-			e.lru = t.seq
-			t.hits.Inc()
-			return true
-		}
-		if !e.valid {
-			victim = e
-		} else if victim.valid && e.lru < victim.lru {
-			victim = e
-		}
+	page := uint64(addr / t.cfg.PageBytes)
+	if slot, ok := t.idx.Lookup(page); ok {
+		t.idx.Touch(slot)
+		t.hits.Inc()
+		return true
 	}
 	t.misses.Inc()
-	victim.page = page
-	victim.valid = true
-	victim.lru = t.seq
+	t.idx.Insert(page)
 	return false
 }
 
@@ -117,7 +104,7 @@ func (t *TLB) SendTiming(acc Access, done func()) {
 		return
 	}
 	// Table walk, then the access proceeds.
-	t.sys.ScheduleIn(sim.NewEvent(t.cfg.Name+".walk", t.fnLookup, func() {
+	t.sys.ScheduleIn(sim.NewEvent(t.nameWalk, t.fnLookup, func() {
 		t.next.SendTiming(acc, done)
 	}), t.cfg.MissLatency)
 }

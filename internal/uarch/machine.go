@@ -1,5 +1,7 @@
 package uarch
 
+import "sort"
+
 // TopDown is the level-1/level-2 cycle accounting of the VTune Top-Down
 // method: every modeled cycle lands in exactly one bucket.
 type TopDown struct {
@@ -57,7 +59,13 @@ type Machine struct {
 	dsb               *cache
 	bp                *gshare
 
-	regions []pageRegion
+	// regions holds page regions in insertion order (the documented
+	// first-match-wins contract); sorted holds the same regions ordered by
+	// base for the O(log n) lookup, valid only while they stay disjoint.
+	regions    []pageRegion
+	sorted     []pageRegion
+	overlapped bool
+	lastRegion int // memo: index into sorted of the last region hit
 
 	td         TopDown
 	uops       uint64
@@ -123,24 +131,72 @@ func (m *Machine) MapText(base, end uint64) {
 		split := base + uint64(float64(end-base)*m.cfg.THPCoverage)
 		split &^= m.cfg.HugePageBytes - 1
 		if split > base {
-			m.regions = append(m.regions, pageRegion{base, split, m.cfg.HugePageBytes})
+			m.addRegion(pageRegion{base, split, m.cfg.HugePageBytes})
 		}
-		m.regions = append(m.regions, pageRegion{split, end, m.cfg.PageBytes})
+		m.addRegion(pageRegion{split, end, m.cfg.PageBytes})
 	case PagesEHP:
-		m.regions = append(m.regions, pageRegion{base, end, m.cfg.HugePageBytes})
+		m.addRegion(pageRegion{base, end, m.cfg.HugePageBytes})
 	default:
-		m.regions = append(m.regions, pageRegion{base, end, m.cfg.PageBytes})
+		m.addRegion(pageRegion{base, end, m.cfg.PageBytes})
 	}
 }
 
 // MapData registers a data range with the base page size.
 func (m *Machine) MapData(base, end uint64) {
-	m.regions = append(m.regions, pageRegion{base, end, m.cfg.PageBytes})
+	m.addRegion(pageRegion{base, end, m.cfg.PageBytes})
+}
+
+// addRegion records r in insertion order and maintains the sorted index
+// used by the fast pageOf path. Overlapping registrations (none of the
+// current callers produce any) fall back to the insertion-order scan so
+// the documented first-match-wins behaviour is preserved exactly.
+func (m *Machine) addRegion(r pageRegion) {
+	m.regions = append(m.regions, r)
+	if r.end <= r.base {
+		return // empty region: can never match an address
+	}
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].base > r.base })
+	if (i > 0 && m.sorted[i-1].end > r.base) || (i < len(m.sorted) && r.end > m.sorted[i].base) {
+		m.overlapped = true
+		return
+	}
+	m.sorted = append(m.sorted, pageRegion{})
+	copy(m.sorted[i+1:], m.sorted[i:])
+	m.sorted[i] = r
+	m.lastRegion = 0
 }
 
 func (m *Machine) pageOf(addr uint64) uint64 {
-	for _, r := range m.regions {
-		if addr >= r.base && addr < r.end {
+	if m.overlapped {
+		for _, r := range m.regions {
+			if addr >= r.base && addr < r.end {
+				return addr &^ (r.pageBytes - 1)
+			}
+		}
+		return addr &^ (m.cfg.PageBytes - 1)
+	}
+	// Fast path: consecutive fetches and data touches overwhelmingly land
+	// in the region hit last time.
+	rs := m.sorted
+	if lr := m.lastRegion; lr < len(rs) {
+		if r := &rs[lr]; addr >= r.base && addr < r.end {
+			return addr &^ (r.pageBytes - 1)
+		}
+	}
+	// Miss path: binary search for the greatest base <= addr. Regions are
+	// disjoint here, so it is the only candidate.
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rs[mid].base > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo > 0 {
+		if r := &rs[lo-1]; addr >= r.base && addr < r.end {
+			m.lastRegion = lo - 1
 			return addr &^ (r.pageBytes - 1)
 		}
 	}

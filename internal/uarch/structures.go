@@ -10,6 +10,8 @@
 // in simulation.
 package uarch
 
+import "math/bits"
+
 // CacheGeom is the geometry of one cache level.
 type CacheGeom struct {
 	SizeBytes uint64
@@ -28,17 +30,29 @@ type cacheLine struct {
 	lru   uint64
 }
 
-// cache is a set-associative LRU cache over 64-bit host addresses.
+// cache is a set-associative LRU cache over 64-bit host addresses. The
+// line array is a single contiguous set-major slice (lines[set*ways+way])
+// rather than a slice-of-slices: one allocation, no per-access pointer
+// chase, and the set/tag shifts are computed once at construction instead
+// of popcounting the mask on every lookup.
 type cache struct {
 	geom     CacheGeom
-	sets     [][]cacheLine
+	lines    []cacheLine // sets × ways, set-major
 	setMask  uint64
+	setBits  uint
 	lineBits uint
+	ways     uint64
 	seq      uint64
 
 	Accesses uint64
 	Misses   uint64
 	resident uint64 // valid line count for occupancy
+
+	// evictedTag/evictedOK record the most recent eviction of a valid
+	// line; written only on the (already expensive) eviction path, read
+	// by the differential tests.
+	evictedTag uint64
+	evictedOK  bool
 }
 
 func newCache(g CacheGeom) *cache {
@@ -49,13 +63,13 @@ func newCache(g CacheGeom) *cache {
 	if g.LineBytes&(g.LineBytes-1) != 0 {
 		panic("uarch: line size must be a power of two")
 	}
-	c := &cache{geom: g, setMask: sets - 1}
-	for g.LineBytes>>c.lineBits > 1 {
-		c.lineBits++
-	}
-	c.sets = make([][]cacheLine, sets)
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, g.Ways)
+	c := &cache{
+		geom:     g,
+		setMask:  sets - 1,
+		setBits:  uint(bits.OnesCount64(sets - 1)),
+		lineBits: uint(bits.TrailingZeros64(g.LineBytes)),
+		ways:     uint64(g.Ways),
+		lines:    make([]cacheLine, sets*uint64(g.Ways)),
 	}
 	return c
 }
@@ -64,8 +78,9 @@ func newCache(g CacheGeom) *cache {
 func (c *cache) access(addr uint64) bool {
 	c.Accesses++
 	block := addr >> c.lineBits
-	set := c.sets[block&c.setMask]
-	tag := block >> popcount(c.setMask)
+	base := (block & c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	tag := block >> c.setBits
 	c.seq++
 	victim := &set[0]
 	for i := range set {
@@ -83,6 +98,8 @@ func (c *cache) access(addr uint64) bool {
 	c.Misses++
 	if !victim.valid {
 		c.resident++
+	} else {
+		c.evictedTag, c.evictedOK = victim.tag, true
 	}
 	victim.tag = tag
 	victim.valid = true
@@ -93,8 +110,9 @@ func (c *cache) access(addr uint64) bool {
 // probe reports whether addr is resident without updating state.
 func (c *cache) probe(addr uint64) bool {
 	block := addr >> c.lineBits
-	set := c.sets[block&c.setMask]
-	tag := block >> popcount(c.setMask)
+	base := (block & c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	tag := block >> c.setBits
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true
@@ -112,70 +130,6 @@ func (c *cache) MissRate() float64 {
 		return 0
 	}
 	return float64(c.Misses) / float64(c.Accesses)
-}
-
-func popcount(mask uint64) uint {
-	var n uint
-	for mask != 0 {
-		n += uint(mask & 1)
-		mask >>= 1
-	}
-	return n
-}
-
-// tlb is a fully-associative LRU TLB keyed by page number.
-type tlb struct {
-	entries []struct {
-		page, lru uint64
-		valid     bool
-	}
-	seq      uint64
-	Accesses uint64
-	Misses   uint64
-}
-
-func newTLB(entries int) *tlb {
-	if entries <= 0 {
-		panic("uarch: TLB needs entries")
-	}
-	t := &tlb{}
-	t.entries = make([]struct {
-		page, lru uint64
-		valid     bool
-	}, entries)
-	return t
-}
-
-// access looks up a page number, filling on miss; returns true on hit.
-func (t *tlb) access(page uint64) bool {
-	t.Accesses++
-	t.seq++
-	victim := &t.entries[0]
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.page == page {
-			e.lru = t.seq
-			return true
-		}
-		if !e.valid {
-			victim = e
-		} else if victim.valid && e.lru < victim.lru {
-			victim = e
-		}
-	}
-	t.Misses++
-	victim.page = page
-	victim.valid = true
-	victim.lru = t.seq
-	return false
-}
-
-// MissRate returns misses/accesses.
-func (t *tlb) MissRate() float64 {
-	if t.Accesses == 0 {
-		return 0
-	}
-	return float64(t.Misses) / float64(t.Accesses)
 }
 
 // gshare is a tournament direction predictor (per-PC bimodal + global

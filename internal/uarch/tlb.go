@@ -1,0 +1,51 @@
+package uarch
+
+import "gem5prof/internal/lruidx"
+
+// tlb is a fully-associative exact-LRU TLB keyed by page number.
+//
+// It used to be a linear-scan entry file — O(entries) per access, which
+// for the 1.5k-entry STLB made TLB lookups the hottest path of the
+// whole co-simulation. The lruidx.Index gives the same observable
+// behaviour (hit iff resident, victim is always the exact LRU page) in
+// O(1); TestTLBDifferential proves hit-for-hit and victim-for-victim
+// equality against the old scan on randomized streams.
+type tlb struct {
+	idx      *lruidx.Index
+	Accesses uint64
+	Misses   uint64
+
+	// evictedPage/evictedOK record the most recent eviction; written only
+	// on the eviction path, read by the differential tests.
+	evictedPage uint64
+	evictedOK   bool
+}
+
+func newTLB(entries int) *tlb {
+	if entries <= 0 {
+		panic("uarch: TLB needs entries")
+	}
+	return &tlb{idx: lruidx.New(entries)}
+}
+
+// access looks up a page number, filling on miss; returns true on hit.
+func (t *tlb) access(page uint64) bool {
+	t.Accesses++
+	if slot, ok := t.idx.Lookup(page); ok {
+		t.idx.Touch(slot)
+		return true
+	}
+	t.Misses++
+	if _, ev, wasEvict := t.idx.Insert(page); wasEvict {
+		t.evictedPage, t.evictedOK = ev, true
+	}
+	return false
+}
+
+// MissRate returns misses/accesses.
+func (t *tlb) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
