@@ -1,0 +1,226 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gem5prof/internal/isa"
+	"gem5prof/internal/sim"
+)
+
+// CampaignConfig drives a randomized conformance campaign.
+type CampaignConfig struct {
+	// Seeds is how many generated programs to run (each on every model).
+	Seeds int
+	// StartSeed is the first generator seed; program i uses StartSeed+i.
+	StartSeed int64
+	// Jobs is the worker parallelism (0 = GOMAXPROCS). Results are
+	// aggregated in seed order regardless of Jobs, so campaign output is
+	// deterministic.
+	Jobs int
+	// Blocks/Fuel forward to GenConfig (0 = generator defaults).
+	Blocks int
+	Fuel   int
+	// ReproDir, when non-empty, receives a minimized reproducer source
+	// file for each divergent seed (at most MaxRepros of them).
+	ReproDir string
+	// MaxRepros caps reproducer files written (0 = 5).
+	MaxRepros int
+}
+
+// SeedReport is the outcome of one generated program across all models.
+type SeedReport struct {
+	Seed        int64
+	Caches      bool
+	Ops         map[isa.Op]bool
+	Retired     uint64
+	Ticks       map[string]sim.Tick
+	Divergences []Divergence
+	Violations  []string
+	// Err reports a harness-level failure (generator emitted
+	// unassemblable code, or the reference did not terminate).
+	Err error
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Programs    int
+	Models      int
+	Divergences []Divergence
+	Violations  []string
+	Errors      []string
+	// Uncovered lists opcodes never emitted across the whole corpus.
+	Uncovered []string
+	// ReproFiles lists written reproducer paths.
+	ReproFiles []string
+	// Seeds holds every per-seed report, in seed order.
+	Seeds []SeedReport
+}
+
+// Failed reports whether the campaign found any conformance failure.
+func (r *CampaignResult) Failed() bool {
+	return len(r.Divergences) > 0 || len(r.Violations) > 0 || len(r.Errors) > 0
+}
+
+// Summary renders a one-screen campaign summary.
+func (r *CampaignResult) Summary() string {
+	s := fmt.Sprintf("conformance: %d programs x %d models: %d divergences, %d invariant violations, %d errors\n",
+		r.Programs, r.Models, len(r.Divergences), len(r.Violations), len(r.Errors))
+	if len(r.Uncovered) > 0 {
+		s += fmt.Sprintf("opcodes never emitted: %v\n", r.Uncovered)
+	} else {
+		s += "opcode coverage: full table\n"
+	}
+	for _, d := range r.Divergences {
+		s += "  " + d.String() + "\n"
+	}
+	for _, v := range r.Violations {
+		s += "  invariant: " + v + "\n"
+	}
+	for _, e := range r.Errors {
+		s += "  error: " + e + "\n"
+	}
+	for _, f := range r.ReproFiles {
+		s += "  repro: " + f + "\n"
+	}
+	return s
+}
+
+// runSeed generates and lockstep-runs one program.
+func runSeed(cfg CampaignConfig, seed int64) SeedReport {
+	rep := SeedReport{Seed: seed, Caches: seed%2 == 0, Ticks: map[string]sim.Tick{}}
+	g := Generate(GenConfig{Seed: seed, Blocks: cfg.Blocks, Fuel: cfg.Fuel})
+	rep.Ops = g.Ops
+	prog, err := isa.Assemble(g.Src)
+	if err != nil {
+		rep.Err = fmt.Errorf("seed %d: assemble: %w", seed, err)
+		return rep
+	}
+	ls, err := RunLockstep(prog, rep.Caches)
+	if err != nil {
+		rep.Err = fmt.Errorf("seed %d: %w", seed, err)
+		return rep
+	}
+	rep.Retired = ls.Ref.Retired
+	for i := range ls.Divergences {
+		ls.Divergences[i].Seed = seed
+	}
+	rep.Divergences = ls.Divergences
+	for _, m := range ls.Models {
+		rep.Ticks[m.Model] = m.Ticks
+		// Atomic resolves every cache access synchronously, so its exit
+		// state is fully drained; timing models may exit mid-flight.
+		drained := m.Model == "atomic"
+		for _, v := range CheckStats(m.Stats, drained) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("seed %d caches=%v %s: %s", seed, rep.Caches, m.Model, v))
+		}
+	}
+	// Cross-model tick orderings that hold by construction: the blocking
+	// Timing CPU can never beat the Atomic CPU (same latencies, paid
+	// sequentially) nor the pipelined Minor CPU. O3 is intentionally NOT
+	// ordered against Atomic: an 8-wide machine can retire above 1 IPC.
+	if tT, tA := rep.Ticks["timing"], rep.Ticks["atomic"]; tT > 0 && tA > 0 && tT < tA {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("seed %d caches=%v: ticks(timing)=%d < ticks(atomic)=%d", seed, rep.Caches, tT, tA))
+	}
+	if tT, tM := rep.Ticks["timing"], rep.Ticks["minor"]; tT > 0 && tM > 0 && tT < tM {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("seed %d caches=%v: ticks(timing)=%d < ticks(minor)=%d", seed, rep.Caches, tT, tM))
+	}
+	return rep
+}
+
+// writeRepro minimizes a divergent seed's program and writes it under dir.
+func writeRepro(cfg CampaignConfig, rep SeedReport, dir string) (string, error) {
+	g := Generate(GenConfig{Seed: rep.Seed, Blocks: cfg.Blocks, Fuel: cfg.Fuel})
+	stillFails := func(src string) bool {
+		prog, err := isa.Assemble(src)
+		if err != nil {
+			return false
+		}
+		ls, err := RunLockstep(prog, rep.Caches)
+		return err == nil && len(ls.Divergences) > 0
+	}
+	min := Minimize(g.Src, stillFails, 200)
+	header := fmt.Sprintf(
+		"# conformance reproducer\n# seed: %d\n# caches: %v\n# regenerate: go run ./cmd/conformance -seeds 1 -start %d\n",
+		rep.Seed, rep.Caches, rep.Seed)
+	for _, d := range rep.Divergences {
+		header += "# " + d.String() + "\n"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed_%d.s", rep.Seed))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, []byte(header+min+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RunCampaign runs cfg.Seeds generated programs through the lockstep
+// runner and the invariant walker, in parallel, aggregating results in
+// deterministic seed order.
+func RunCampaign(cfg CampaignConfig) *CampaignResult {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 1
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRepros <= 0 {
+		cfg.MaxRepros = 5
+	}
+
+	reports := make([]SeedReport, cfg.Seeds)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				reports[i] = runSeed(cfg, cfg.StartSeed+int64(i))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	out := &CampaignResult{Programs: cfg.Seeds, Models: len(Models), Seeds: reports}
+	covered := make(map[isa.Op]bool)
+	repros := 0
+	for _, rep := range reports {
+		for op := range rep.Ops {
+			covered[op] = true
+		}
+		out.Divergences = append(out.Divergences, rep.Divergences...)
+		out.Violations = append(out.Violations, rep.Violations...)
+		if rep.Err != nil {
+			out.Errors = append(out.Errors, rep.Err.Error())
+		}
+		if len(rep.Divergences) > 0 && cfg.ReproDir != "" && repros < cfg.MaxRepros {
+			if path, err := writeRepro(cfg, rep, cfg.ReproDir); err == nil {
+				out.ReproFiles = append(out.ReproFiles, path)
+				repros++
+			} else {
+				out.Errors = append(out.Errors, fmt.Sprintf("seed %d: write repro: %v", rep.Seed, err))
+			}
+		}
+	}
+	for _, op := range isa.Opcodes() {
+		if !covered[op] {
+			out.Uncovered = append(out.Uncovered, op.Name())
+		}
+	}
+	sort.Strings(out.Uncovered)
+	return out
+}

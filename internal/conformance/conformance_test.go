@@ -1,0 +1,297 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gem5prof/internal/core"
+	"gem5prof/internal/isa"
+	"gem5prof/internal/sim"
+)
+
+// TestCampaignQuick is the acceptance gate: 500 generated programs, each
+// run on all four CPU models plus the reference interpreter, must show
+// zero architectural divergence and zero invariant violations, and the
+// corpus must cover the full opcode table except wfi (which parks the
+// core until an asynchronous interrupt — interrupt timing legitimately
+// differs across models, so the generator excludes it by design).
+func TestCampaignQuick(t *testing.T) {
+	res := RunCampaign(CampaignConfig{Seeds: 500, StartSeed: 1, ReproDir: t.TempDir()})
+	if res.Failed() {
+		t.Fatalf("campaign failed:\n%s", res.Summary())
+	}
+	for _, name := range res.Uncovered {
+		if name != "wfi" {
+			t.Errorf("opcode %q never emitted across the corpus", name)
+		}
+	}
+	if len(res.Uncovered) > 1 {
+		t.Errorf("uncovered opcodes: %v", res.Uncovered)
+	}
+}
+
+// TestLockstepFixedSeeds pins the fixed seeds the old
+// cpu.TestDifferentialRandomPrograms used, now folded into the lockstep
+// runner: both cache configurations, all models, full-state diffing
+// instead of only the a0 exit value.
+func TestLockstepFixedSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := Generate(GenConfig{Seed: seed})
+			prog, err := isa.Assemble(g.Src)
+			if err != nil {
+				t.Fatalf("assemble: %v\n%s", err, g.Src)
+			}
+			for _, caches := range []bool{false, true} {
+				ls, err := RunLockstep(prog, caches)
+				if err != nil {
+					t.Fatalf("caches=%v: %v", caches, err)
+				}
+				for _, d := range ls.Divergences {
+					t.Errorf("caches=%v: %s", caches, d.String())
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic pins the generator: the same seed must yield
+// byte-identical source (so any failure is reproducible from its seed
+// alone), and every emitted instruction must encode and decode cleanly.
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := Generate(GenConfig{Seed: 7})
+	g2 := Generate(GenConfig{Seed: 7})
+	if g1.Src != g2.Src {
+		t.Fatal("generator nondeterministic for equal seeds")
+	}
+	if g3 := Generate(GenConfig{Seed: 8}); g3.Src == g1.Src {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+	prog, err := isa.Assemble(g1.Src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if prog.Entry == 0 || len(prog.Data) == 0 {
+		t.Fatal("empty program")
+	}
+	for op := range g1.Ops {
+		if !op.Valid() {
+			t.Fatalf("generator recorded invalid opcode %d", op)
+		}
+	}
+}
+
+// TestGeneratedProgramsRespectFuel verifies the termination-fuel scheme:
+// the reference interpreter must finish every generated program within
+// its dynamic budget (the whole point of the fuel accounting).
+func TestGeneratedProgramsRespectFuel(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		fuel := 5000
+		g := Generate(GenConfig{Seed: seed, Fuel: fuel})
+		prog, err := isa.Assemble(g.Src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := RunRef(prog, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ref.Retired > uint64(fuel) {
+			t.Errorf("seed %d: retired %d > fuel %d", seed, ref.Retired, fuel)
+		}
+	}
+}
+
+// TestRealWorkloadInvariants runs real SE workloads under every CPU model
+// and checks the same invariant catalog the random campaign uses, plus
+// the cross-model metamorphic property the paper's methodology rests on:
+// the committed instruction count is model-independent.
+func TestRealWorkloadInvariants(t *testing.T) {
+	for _, workload := range []string{"sieve", "dedup"} {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			insts := map[core.CPUModel]uint64{}
+			for _, model := range core.AllCPUModels {
+				res, err := core.RunGuest(core.GuestConfig{
+					CPU: model, Mode: core.SE, Workload: workload, Scale: 1024, GuestTLBs: true,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", model, err)
+				}
+				if !res.ChecksumOK {
+					t.Fatalf("%s: checksum mismatch: got %#x want %#x", model, res.ExitCode, res.Expected)
+				}
+				insts[model] = res.Insts
+				for _, v := range CheckStats(res.Stats, model == core.Atomic) {
+					t.Errorf("%s: invariant: %s", model, v)
+				}
+			}
+			for _, model := range core.AllCPUModels {
+				if insts[model] != insts[core.Atomic] {
+					t.Errorf("committed insts diverge: %s=%d atomic=%d", model, insts[model], insts[core.Atomic])
+				}
+			}
+		})
+	}
+}
+
+// TestReproReplay re-runs every checked-in reproducer under the lockstep
+// runner. Reproducers record historical divergences; once the underlying
+// bug is fixed they become the regression corpus and must stay clean.
+func TestReproReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := isa.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			for _, caches := range []bool{false, true} {
+				ls, err := RunLockstep(prog, caches)
+				if err != nil {
+					t.Fatalf("caches=%v: %v", caches, err)
+				}
+				for _, d := range ls.Divergences {
+					t.Errorf("caches=%v: %s", caches, d.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMinimize exercises the ddmin machinery against a synthetic failure
+// predicate, independent of any real model bug.
+func TestMinimize(t *testing.T) {
+	var src strings.Builder
+	for i := 0; i < 40; i++ {
+		if i == 17 || i == 31 {
+			fmt.Fprintf(&src, "needle %d\n", i)
+		} else {
+			fmt.Fprintf(&src, "filler %d\n", i)
+		}
+	}
+	fails := func(s string) bool {
+		return strings.Count(s, "needle") == 2
+	}
+	min := Minimize(src.String(), fails, 10_000)
+	lines := 0
+	for _, l := range strings.Split(min, "\n") {
+		if l != "" {
+			lines++
+		}
+	}
+	if lines != 2 || strings.Count(min, "needle") != 2 {
+		t.Fatalf("minimized to %d lines:\n%s", lines, min)
+	}
+}
+
+// TestInvariantWalkerDetects builds registries with planted violations and
+// checks the walker flags each one (and stays quiet on a clean registry).
+func TestInvariantWalkerDetects(t *testing.T) {
+	clean := sim.NewRegistry()
+	a := clean.Counter("l1.accesses", "")
+	h := clean.Counter("l1.hits", "")
+	clean.Counter("l1.misses", "")
+	clean.Counter("l1.mshrHits", "")
+	a.Addn(10)
+	h.Addn(10)
+	if v := CheckStats(clean, true); len(v) != 0 {
+		t.Fatalf("clean registry flagged: %v", v)
+	}
+
+	over := sim.NewRegistry()
+	oa := over.Counter("l1.accesses", "")
+	oh := over.Counter("l1.hits", "")
+	over.Counter("l1.misses", "")
+	over.Counter("l1.mshrHits", "")
+	oa.Addn(5)
+	oh.Addn(9)
+	if v := CheckStats(over, false); len(v) != 1 {
+		t.Fatalf("over-resolved cache not flagged: %v", v)
+	}
+
+	undrained := sim.NewRegistry()
+	ua := undrained.Counter("l1.accesses", "")
+	uh := undrained.Counter("l1.hits", "")
+	undrained.Counter("l1.misses", "")
+	undrained.Counter("l1.mshrHits", "")
+	ua.Addn(9)
+	uh.Addn(5)
+	if v := CheckStats(undrained, false); len(v) != 0 {
+		t.Fatalf("in-flight accesses flagged while undrained: %v", v)
+	}
+	if v := CheckStats(undrained, true); len(v) != 1 {
+		t.Fatalf("unresolved accesses not flagged while drained: %v", v)
+	}
+
+	tlb := sim.NewRegistry()
+	tt := tlb.Counter("itlb.translations", "")
+	th := tlb.Counter("itlb.hits", "")
+	tlb.Counter("itlb.misses", "")
+	tt.Addn(4)
+	th.Addn(3) // hits+misses = 3 != 4
+	if v := CheckStats(tlb, true); len(v) != 1 {
+		t.Fatalf("TLB imbalance not flagged: %v", v)
+	}
+
+	cpu := sim.NewRegistry()
+	ci := cpu.Counter("cpu0.committedInsts", "")
+	cb := cpu.Counter("cpu0.branches", "")
+	ci.Addn(5)
+	cb.Addn(9)
+	if v := CheckStats(cpu, true); len(v) != 1 {
+		t.Fatalf("class overcount not flagged: %v", v)
+	}
+
+	sc := sim.NewRegistry()
+	bad := sc.Scalar("host.speedup", "")
+	bad.Set(1)
+	bad.Set(0)
+	bad.Add(1.0 / 1.0)
+	badder := sc.Scalar("host.nan", "")
+	badder.Set(0)
+	badder.Add(1)
+	badder.Set(mustNaN())
+	if v := CheckStats(sc, true); len(v) != 1 {
+		t.Fatalf("NaN scalar not flagged: %v", v)
+	}
+}
+
+func mustNaN() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+// TestTraceHashOrderSensitivity pins that the trace hash distinguishes
+// both instruction content and commit order.
+func TestTraceHashOrderSensitivity(t *testing.T) {
+	a := isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 4}
+	b := isa.Inst{Op: isa.OpAddi, Rd: 2, Imm: 4}
+	h1 := newTraceHash()
+	h1.mix(0x1000, a)
+	h1.mix(0x1004, b)
+	h2 := newTraceHash()
+	h2.mix(0x1000, b)
+	h2.mix(0x1004, a)
+	if h1 == h2 {
+		t.Fatal("trace hash insensitive to commit order")
+	}
+	h3 := newTraceHash()
+	h3.mix(0x1000, a)
+	h3.mix(0x1004, b)
+	if h1 != h3 {
+		t.Fatal("trace hash nondeterministic")
+	}
+}

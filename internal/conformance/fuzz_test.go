@@ -1,0 +1,37 @@
+package conformance
+
+import (
+	"testing"
+
+	"gem5prof/internal/isa"
+)
+
+// FuzzConformance lets the Go fuzzer drive the program generator's seed
+// space directly: any input that produces a cross-model divergence or an
+// invariant violation is a crasher. The corpus under
+// testdata/fuzz/FuzzConformance replays during plain `go test` as a
+// regression suite.
+func FuzzConformance(f *testing.F) {
+	f.Add(int64(1), byte(0), false)
+	f.Add(int64(42), byte(3), true)
+	f.Add(int64(-9001), byte(7), false)
+	f.Fuzz(func(t *testing.T, seed int64, blocks byte, caches bool) {
+		g := Generate(GenConfig{Seed: seed, Blocks: 2 + int(blocks%6)})
+		prog, err := isa.Assemble(g.Src)
+		if err != nil {
+			t.Fatalf("generator emitted unassemblable source: %v\n%s", err, g.Src)
+		}
+		ls, err := RunLockstep(prog, caches)
+		if err != nil {
+			t.Fatalf("lockstep: %v", err)
+		}
+		for _, d := range ls.Divergences {
+			t.Errorf("divergence: %s", d.String())
+		}
+		for _, m := range ls.Models {
+			for _, v := range CheckStats(m.Stats, m.Model == "atomic") {
+				t.Errorf("%s: invariant: %s", m.Model, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gem5prof/internal/sim"
+)
+
+// CheckStats walks a run's statistics registry and verifies the
+// metamorphic invariant catalog: conservation laws and orderings that must
+// hold for ANY workload, random or real, regardless of the modeled
+// timing. drained means the run quiesced at an instruction boundary with
+// no in-flight memory accesses (true for the Atomic CPU, which resolves
+// every access synchronously; false for the timing models, which may exit
+// with accesses still outstanding in MSHRs), turning the cache
+// conservation inequality into an equality.
+//
+// The catalog (see DESIGN.md "Conformance & invariants"):
+//
+//	cache:  hits + misses + mshrHits == accesses   (<= when not drained)
+//	TLB:    hits + misses == translations          (lookups are synchronous)
+//	cpu:    branches + loads + stores <= committedInsts
+//	cpu:    ecalls <= committedInsts + 1           (final ecall is uncounted)
+//	bp:     bpMispredicts <= bpLookups, btbMisses <= bpLookups
+//	dram:   rowHits + rowMisses <= reads + writes
+//	histos: sum(buckets) == samples, min <= mean <= max
+//	all:    every value is finite
+func CheckStats(reg *sim.Registry, drained bool) []string {
+	var violations []string
+	bad := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Per-stat checks and prefix grouping.
+	groups := make(map[string]map[string]float64)
+	for _, s := range reg.All() {
+		v := s.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad("%s: non-finite value %v", s.StatName(), v)
+		}
+		if h, ok := s.(*sim.Histogram); ok {
+			checkHistogram(h, bad)
+		}
+		name := s.StatName()
+		dot := strings.LastIndex(name, ".")
+		if dot < 0 {
+			continue
+		}
+		prefix, leaf := name[:dot], name[dot+1:]
+		if groups[prefix] == nil {
+			groups[prefix] = make(map[string]float64)
+		}
+		groups[prefix][leaf] = v
+	}
+
+	for prefix, g := range groups {
+		switch {
+		case has(g, "accesses", "mshrHits"):
+			// Cache: every demand access entering the cache resolves as
+			// exactly one of hit, miss, or MSHR coalesce.
+			resolved := g["hits"] + g["misses"] + g["mshrHits"]
+			if drained && resolved != g["accesses"] {
+				bad("%s: hits+misses+mshrHits = %.0f != accesses = %.0f (drained)",
+					prefix, resolved, g["accesses"])
+			}
+			if resolved > g["accesses"] {
+				bad("%s: hits+misses+mshrHits = %.0f > accesses = %.0f",
+					prefix, resolved, g["accesses"])
+			}
+		case has(g, "translations"):
+			// TLB lookups resolve synchronously: exact in every run.
+			if g["hits"]+g["misses"] != g["translations"] {
+				bad("%s: hits+misses = %.0f != translations = %.0f",
+					prefix, g["hits"]+g["misses"], g["translations"])
+			}
+		case has(g, "rowHits", "reads"):
+			// DRAM: every row-buffer outcome belongs to a transaction.
+			if g["rowHits"]+g["rowMisses"] > g["reads"]+g["writes"] {
+				bad("%s: rowHits+rowMisses = %.0f > reads+writes = %.0f",
+					prefix, g["rowHits"]+g["rowMisses"], g["reads"]+g["writes"])
+			}
+		}
+		if has(g, "committedInsts") {
+			classes := g["branches"] + g["loads"] + g["stores"]
+			if classes > g["committedInsts"] {
+				bad("%s: branches+loads+stores = %.0f > committedInsts = %.0f",
+					prefix, classes, g["committedInsts"])
+			}
+			// The terminating ecall requests exit before it is counted as
+			// committed, so ecalls may exceed committedInsts by at most
+			// one (a program that only ecalls).
+			if g["ecalls"] > g["committedInsts"]+1 {
+				bad("%s: ecalls = %.0f > committedInsts+1 = %.0f",
+					prefix, g["ecalls"], g["committedInsts"]+1)
+			}
+		}
+		if has(g, "bpLookups") {
+			if g["bpMispredicts"] > g["bpLookups"] {
+				bad("%s: bpMispredicts = %.0f > bpLookups = %.0f",
+					prefix, g["bpMispredicts"], g["bpLookups"])
+			}
+			if g["btbMisses"] > g["bpLookups"] {
+				bad("%s: btbMisses = %.0f > bpLookups = %.0f",
+					prefix, g["btbMisses"], g["bpLookups"])
+			}
+		}
+	}
+	return violations
+}
+
+func has(g map[string]float64, keys ...string) bool {
+	for _, k := range keys {
+		if _, ok := g[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkHistogram(h *sim.Histogram, bad func(string, ...any)) {
+	var total uint64
+	for i := 0; i < h.BucketCount(); i++ {
+		total += h.Bucket(i)
+	}
+	if total != h.Samples() {
+		bad("%s: bucket sum %d != samples %d", h.StatName(), total, h.Samples())
+	}
+	if h.Samples() > 0 {
+		mean := h.Value()
+		if h.Min() > mean || mean > h.Max() {
+			bad("%s: mean %v outside [min %v, max %v]", h.StatName(), mean, h.Min(), h.Max())
+		}
+	}
+	for _, v := range []float64{h.Sum(), h.Min(), h.Max()} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad("%s: non-finite histogram bound %v", h.StatName(), v)
+		}
+	}
+}

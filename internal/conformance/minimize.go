@@ -1,0 +1,50 @@
+package conformance
+
+import "strings"
+
+// Minimize shrinks a failing program's source with a line-granular ddmin:
+// it repeatedly tries deleting contiguous line chunks (halving the chunk
+// size down to single lines) and keeps any deletion under which stillFails
+// returns true. stillFails must be a full validity-plus-failure check
+// (typically: assembles, the reference terminates, and the lockstep diff
+// still reports a divergence) — candidates that break assembly must simply
+// return false. maxProbes bounds the total number of stillFails calls so
+// minimization cannot dominate a campaign.
+func Minimize(src string, stillFails func(string) bool, maxProbes int) string {
+	lines := strings.Split(src, "\n")
+	probes := 0
+	probe := func(cand []string) bool {
+		if probes >= maxProbes {
+			return false
+		}
+		probes++
+		return stillFails(strings.Join(cand, "\n"))
+	}
+	// One sweep at a given chunk size; returns whether anything was cut.
+	sweep := func(chunk int) bool {
+		cut := false
+		for start := 0; start < len(lines) && probes < maxProbes; {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if probe(cand) {
+				lines = cand // keep the cut; the next chunk slid into start
+				cut = true
+			} else {
+				start = end
+			}
+		}
+		return cut
+	}
+	for chunk := len(lines) / 2; chunk >= 1; chunk /= 2 {
+		sweep(chunk)
+	}
+	// Single-line passes to a fixpoint (a removal can unlock another).
+	for sweep(1) && probes < maxProbes {
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,471 @@
+// Package conformance cross-checks the four guest CPU models against a
+// bare reference interpreter on randomly generated KISA programs, and
+// checks metamorphic invariants over the statistics every run produces.
+//
+// The paper's methodology depends on the four CPU models (Atomic, Timing,
+// Minor, O3) being architecturally interchangeable: fast-forward with one,
+// measure with another. This package is the subsystem that earns that
+// assumption: progen emits seeded random programs guaranteed to terminate,
+// the lockstep runner executes each on every model and diffs final
+// architectural state plus a per-commit trace hash, and the invariant
+// walker checks stat conservation laws (cache accesses == hits + misses +
+// mshrHits, TLB translations == hits + misses, ...) that must hold on any
+// run, random or real.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gem5prof/internal/isa"
+)
+
+// GenConfig seeds one generated program.
+type GenConfig struct {
+	// Seed drives every random choice; the same seed always yields the
+	// same source text.
+	Seed int64
+	// Blocks is the number of top-level code blocks (0 = seed-derived,
+	// 3..8).
+	Blocks int
+	// Fuel bounds the program's dynamic instruction count: emission stops
+	// once the worst-case executed-instruction budget is spent (0 =
+	// DefaultFuel). Together with the loop discipline below it guarantees
+	// termination.
+	Fuel int
+}
+
+// DefaultFuel is the default worst-case dynamic instruction budget.
+const DefaultFuel = 20000
+
+// ScratchBytes is the size of the load/store arena; every generated memory
+// access lands inside it, naturally aligned.
+const ScratchBytes = 512
+
+// Generated is one generator output.
+type Generated struct {
+	Cfg GenConfig
+	// Src is the assembly source.
+	Src string
+	// Ops records every opcode the program encodes (including via pseudo
+	// expansion), for corpus-level coverage accounting.
+	Ops map[isa.Op]bool
+}
+
+// Register discipline. Generated code computes only in pool registers so
+// the structural registers below are never clobbered:
+//
+//	x2  (sp)   stack pointer, set once (unused by generated code)
+//	x10 (a0)   exit value accumulator
+//	x17 (a7)   syscall number for the final ecall
+//	x26 (s10)  float literal pool base
+//	x27 (s11)  scratch arena base
+//	x29 (t4)   jump/address temporary
+//	x30 (t5)   inner loop counter
+//	x31 (t6)   outer loop counter
+var intPool = []uint8{5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 16, 18, 19, 20, 21, 22, 23, 24, 25}
+
+// fpPoolSize is how many float registers participate (f0..f15).
+const fpPoolSize = 16
+
+// fdataDoubles is how many float64 literals the fdata section holds.
+const fdataDoubles = 8
+
+// gen carries the generator state for one program.
+type gen struct {
+	rng   *rand.Rand
+	b     strings.Builder
+	label int
+	fuel  int
+	mult  int // product of enclosing loop trip counts
+	depth int // loop nesting depth
+	used  map[isa.Op]bool
+
+	intOps []isa.Op // straight-line integer compute ops
+	fpOps  []isa.Op // float compute/compare/convert ops
+	loads  []isa.Op
+	stores []isa.Op
+}
+
+// Generate emits one random, structurally valid, guaranteed-terminating
+// KISA program for cfg.
+func Generate(cfg GenConfig) Generated {
+	if cfg.Fuel <= 0 {
+		cfg.Fuel = DefaultFuel
+	}
+	g := &gen{
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		fuel: cfg.Fuel,
+		mult: 1,
+		used: make(map[isa.Op]bool),
+	}
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 3 + g.rng.Intn(6)
+	}
+	g.classify()
+	g.header()
+	for b := 0; b < cfg.Blocks && g.fuel > 64; b++ {
+		g.block()
+	}
+	g.coverageTail()
+	g.footer()
+	return Generated{Cfg: cfg, Src: g.b.String(), Ops: g.used}
+}
+
+// classify partitions the opcode table (via the exported metadata) into
+// the operand shapes the emitter understands, so new opcodes are picked up
+// automatically.
+func (g *gen) classify() {
+	for _, op := range isa.Opcodes() {
+		m := op.Meta()
+		switch {
+		case m.IsLoad:
+			g.loads = append(g.loads, op)
+		case m.IsStore:
+			g.stores = append(g.stores, op)
+		case m.IsBranch, m.IsJump, m.IsSystem:
+			// Branches, jumps, and system ops are emitted structurally
+			// (with labels / CSR discipline), not as straight-line picks.
+		case m.FpRd || m.FpRs1 || m.FpRs2:
+			g.fpOps = append(g.fpOps, op)
+		case m.WritesRd:
+			g.intOps = append(g.intOps, op)
+		}
+	}
+	// fcvt.w.d writes an integer register but reads a float: it lives in
+	// the fp emitter's world.
+	for i, op := range g.intOps {
+		if op == isa.OpFcvtWD {
+			g.intOps = append(g.intOps[:i], g.intOps[i+1:]...)
+			break
+		}
+	}
+	g.fpOps = append(g.fpOps, isa.OpFcvtWD)
+}
+
+// line appends one raw source line.
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// inst appends one real instruction line, charging fuel under the current
+// loop multiplier and recording opcode coverage.
+func (g *gen) inst(op isa.Op, format string, args ...any) {
+	g.used[op] = true
+	g.fuel -= g.mult
+	g.line("\t"+format, args...)
+}
+
+// li emits the li pseudo-instruction (expands to lui+ori).
+func (g *gen) li(reg string, val uint32) {
+	g.used[isa.OpLui] = true
+	g.used[isa.OpOri] = true
+	g.fuel -= 2 * g.mult
+	g.line("\tli %s, %#x", reg, val)
+}
+
+// la emits the la pseudo-instruction (expands to lui+ori).
+func (g *gen) la(reg, label string) {
+	g.used[isa.OpLui] = true
+	g.used[isa.OpOri] = true
+	g.fuel -= 2 * g.mult
+	g.line("\tla %s, %s", reg, label)
+}
+
+func (g *gen) newLabel(kind string) string {
+	g.label++
+	return fmt.Sprintf("L%s%d", kind, g.label)
+}
+
+func (g *gen) reg() uint8  { return intPool[g.rng.Intn(len(intPool))] }
+func (g *gen) freg() uint8 { return uint8(g.rng.Intn(fpPoolSize)) }
+
+// header seeds the register files so generated computation starts from
+// seed-dependent state.
+func (g *gen) header() {
+	g.line("# conformance progen seed program")
+	g.line("_start:")
+	g.li("sp", 0xF00000)
+	g.la("s11", "scratch")
+	g.la("s10", "fdata")
+	for _, r := range intPool {
+		g.li(fmt.Sprintf("x%d", r), g.rng.Uint32())
+	}
+	for i := 0; i < fpPoolSize; i++ {
+		g.inst(isa.OpFld, "fld f%d, %d(s10)", i, (i%fdataDoubles)*8)
+	}
+}
+
+// block emits one random top-level code block.
+func (g *gen) block() {
+	switch g.rng.Intn(7) {
+	case 0, 1:
+		g.aluBlock(4 + g.rng.Intn(8))
+	case 2:
+		g.memBlock()
+	case 3:
+		g.loopBlock()
+	case 4:
+		g.branchBlock()
+	case 5:
+		g.jumpBlock()
+	case 6:
+		g.fpBlock(2 + g.rng.Intn(5))
+	}
+	if g.rng.Intn(3) == 0 {
+		g.csrBlock()
+	}
+}
+
+// aluBlock emits n straight-line integer compute instructions drawn from
+// the opcode metadata.
+func (g *gen) aluBlock(n int) {
+	for i := 0; i < n; i++ {
+		g.emitIntOp(g.intOps[g.rng.Intn(len(g.intOps))])
+	}
+}
+
+// emitIntOp emits one integer compute instruction with random operands.
+func (g *gen) emitIntOp(op isa.Op) {
+	m := op.Meta()
+	switch m.Format {
+	case isa.FmtR:
+		g.inst(op, "%s x%d, x%d, x%d", m.Name, g.reg(), g.reg(), g.reg())
+	case isa.FmtI:
+		imm := g.rng.Intn(2001) - 1000
+		if op == isa.OpSlli || op == isa.OpSrli || op == isa.OpSrai {
+			imm = g.rng.Intn(32)
+		}
+		g.inst(op, "%s x%d, x%d, %d", m.Name, g.reg(), g.reg(), imm)
+	case isa.FmtU:
+		g.inst(op, "%s x%d, %#x", m.Name, g.reg(), g.rng.Intn(1<<20))
+	}
+}
+
+// memBlock emits aligned store/load pairs confined to the scratch arena.
+func (g *gen) memBlock() {
+	for i, n := 0, 1+g.rng.Intn(4); i < n; i++ {
+		st := g.stores[g.rng.Intn(len(g.stores))]
+		g.emitStore(st)
+		ld := g.loads[g.rng.Intn(len(g.loads))]
+		g.emitLoad(ld)
+	}
+}
+
+func (g *gen) scratchOff(size int) int {
+	return g.rng.Intn(ScratchBytes/size) * size
+}
+
+func (g *gen) emitStore(op isa.Op) {
+	m := op.Meta()
+	off := g.scratchOff(m.MemSize)
+	if m.FpRs2 {
+		g.inst(op, "%s f%d, %d(s11)", m.Name, g.freg(), off)
+	} else {
+		g.inst(op, "%s x%d, %d(s11)", m.Name, g.reg(), off)
+	}
+}
+
+func (g *gen) emitLoad(op isa.Op) {
+	m := op.Meta()
+	off := g.scratchOff(m.MemSize)
+	if m.FpRd {
+		g.inst(op, "%s f%d, %d(s11)", m.Name, g.freg(), off)
+	} else {
+		g.inst(op, "%s x%d, %d(s11)", m.Name, g.reg(), off)
+	}
+}
+
+// loopBlock emits a counted down-loop on t6 (outer) or t5 (inner). Trip
+// counts are small literal constants and the counter registers are never
+// touched by body code, so termination is structural; the fuel charge for
+// the body is multiplied by the trip count.
+func (g *gen) loopBlock() {
+	if g.depth >= 2 {
+		g.aluBlock(3)
+		return
+	}
+	counter := "t6"
+	if g.depth == 1 {
+		counter = "t5"
+	}
+	trips := 1 + g.rng.Intn(6)
+	top := g.newLabel("loop")
+	g.li(counter, uint32(trips))
+	g.line("%s:", top)
+	g.mult *= trips
+	g.depth++
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(5) {
+		case 0:
+			g.emitStore(g.stores[g.rng.Intn(len(g.stores))])
+		case 1:
+			g.emitLoad(g.loads[g.rng.Intn(len(g.loads))])
+		case 2:
+			if g.depth < 2 && g.fuel > 256 {
+				g.loopBlock()
+			} else {
+				g.emitIntOp(g.intOps[g.rng.Intn(len(g.intOps))])
+			}
+		default:
+			g.emitIntOp(g.intOps[g.rng.Intn(len(g.intOps))])
+		}
+	}
+	g.depth--
+	g.mult /= trips
+	g.inst(isa.OpAddi, "addi %s, %s, -1", counter, counter)
+	g.inst(isa.OpBne, "bne %s, x0, %s", counter, top)
+}
+
+var branchOps = []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu}
+
+// branchBlock emits a forward conditional diamond (both arms forward-only,
+// so it cannot loop).
+func (g *gen) branchBlock() {
+	op := branchOps[g.rng.Intn(len(branchOps))]
+	if g.rng.Intn(2) == 0 {
+		// Skip-over form.
+		skip := g.newLabel("skip")
+		g.inst(op, "%s x%d, x%d, %s", op.Meta().Name, g.reg(), g.reg(), skip)
+		g.aluBlock(1 + g.rng.Intn(3))
+		g.line("%s:", skip)
+		return
+	}
+	// If/else form; the unconditional edge uses j (jal x0).
+	els := g.newLabel("else")
+	end := g.newLabel("end")
+	g.inst(op, "%s x%d, x%d, %s", op.Meta().Name, g.reg(), g.reg(), els)
+	g.aluBlock(1 + g.rng.Intn(3))
+	g.used[isa.OpJal] = true
+	g.fuel -= g.mult
+	g.line("\tj %s", end)
+	g.line("%s:", els)
+	g.aluBlock(1 + g.rng.Intn(3))
+	g.line("%s:", end)
+}
+
+// jumpBlock emits one forward unconditional control transfer: jal, an
+// address-materialized jalr, or a trap-return (mret) whose mepc was just
+// planted. All targets are forward labels.
+func (g *gen) jumpBlock() {
+	target := g.newLabel("jump")
+	switch g.rng.Intn(3) {
+	case 0:
+		g.inst(isa.OpJal, "jal t4, %s", target)
+	case 1:
+		g.la("t4", target)
+		g.inst(isa.OpJalr, "jalr x%d, 0(t4)", g.reg())
+	case 2:
+		g.la("t4", target)
+		g.inst(isa.OpCsrrw, "csrrw x0, 0x341, t4") // mepc
+		g.inst(isa.OpMret, "mret")
+	}
+	g.line("%s:", target)
+}
+
+// fpBlock emits n float compute/compare/convert instructions.
+func (g *gen) fpBlock(n int) {
+	for i := 0; i < n; i++ {
+		g.emitFpOp(g.fpOps[g.rng.Intn(len(g.fpOps))])
+	}
+}
+
+func (g *gen) emitFpOp(op isa.Op) {
+	m := op.Meta()
+	name := func(fp bool) string {
+		if fp {
+			return fmt.Sprintf("f%d", g.freg())
+		}
+		return fmt.Sprintf("x%d", g.reg())
+	}
+	switch {
+	case m.ReadsRs2:
+		g.inst(op, "%s %s, %s, %s", m.Name, name(m.FpRd), name(m.FpRs1), name(m.FpRs2))
+	case m.ReadsRs1:
+		g.inst(op, "%s %s, %s", m.Name, name(m.FpRd), name(m.FpRs1))
+	}
+}
+
+// csrBlock exercises the CSR ops on mscratch (0x340) only: mstatus would
+// toggle interrupt enables and cycle/instret are timing-dependent, all of
+// which legitimately differ across CPU models.
+func (g *gen) csrBlock() {
+	g.inst(isa.OpCsrrw, "csrrw x%d, 0x340, x%d", g.reg(), g.reg())
+	g.inst(isa.OpCsrrs, "csrrs x%d, 0x340, x%d", g.reg(), g.reg())
+}
+
+// coverageTail appends one safe instance of every opcode the random blocks
+// did not emit, so every generated program individually covers the full
+// table (minus the exclusions documented in DESIGN.md: wfi parks the core
+// until an asynchronous interrupt, and ecall/ebreak terminate — the
+// terminator covers one of those two).
+func (g *gen) coverageTail() {
+	for _, op := range isa.Opcodes() {
+		if g.used[op] {
+			continue
+		}
+		m := op.Meta()
+		switch {
+		case op == isa.OpEcall || op == isa.OpEbreak || op == isa.OpWfi:
+			// ecall/ebreak exit; wfi needs an interrupt to ever resume.
+		case m.IsLoad:
+			g.emitLoad(op)
+		case m.IsStore:
+			g.emitStore(op)
+		case m.IsBranch:
+			// Branch to the very next instruction: taken and not-taken
+			// agree, so any outcome is safe.
+			l := g.newLabel("cov")
+			g.inst(op, "%s x%d, x%d, %s", m.Name, g.reg(), g.reg(), l)
+			g.line("%s:", l)
+		case op == isa.OpJal:
+			l := g.newLabel("cov")
+			g.inst(op, "jal t4, %s", l)
+			g.line("%s:", l)
+		case op == isa.OpJalr:
+			l := g.newLabel("cov")
+			g.la("t4", l)
+			g.inst(op, "jalr x%d, 0(t4)", g.reg())
+			g.line("%s:", l)
+		case op == isa.OpMret:
+			l := g.newLabel("cov")
+			g.la("t4", l)
+			g.inst(isa.OpCsrrw, "csrrw x0, 0x341, t4")
+			g.inst(op, "mret")
+			g.line("%s:", l)
+		case op == isa.OpCsrrw || op == isa.OpCsrrs:
+			g.inst(op, "%s x%d, 0x340, x%d", m.Name, g.reg(), g.reg())
+		case m.FpRd || m.FpRs1 || m.FpRs2 || op == isa.OpFcvtWD:
+			g.emitFpOp(op)
+		default:
+			g.emitIntOp(op)
+		}
+	}
+}
+
+// footer folds the integer pool into a0 and exits. The terminator
+// alternates between ecall and ebreak by seed so both exit opcodes appear
+// across a corpus.
+func (g *gen) footer() {
+	g.li("a0", 0)
+	for _, r := range intPool {
+		g.inst(isa.OpAdd, "add a0, a0, x%d", r)
+		g.inst(isa.OpXor, "xor a0, a0, x%d", r)
+	}
+	if g.rng.Intn(2) == 0 {
+		g.li("a7", 93)
+		g.used[isa.OpEcall] = true
+		g.line("\tecall")
+	} else {
+		g.used[isa.OpEbreak] = true
+		g.line("\tebreak")
+	}
+	g.line("scratch:")
+	g.line("\t.space %d", ScratchBytes)
+	g.line("fdata:")
+	for i := 0; i < fdataDoubles; i++ {
+		g.line("\t.double %g", g.rng.NormFloat64()*100)
+	}
+}

@@ -100,6 +100,121 @@ func TestCheckpointCrossPlatformRestore(t *testing.T) {
 	}
 }
 
+// TestCheckpointDeterminism is the conformance property behind the
+// checkpoint workflow: restoring at tick T and running to completion must
+// produce exactly the straight run's result on EVERY CPU model — same
+// exit checksum and instruction conservation (insts before the cut plus
+// insts after equals the uninterrupted total).
+func TestCheckpointDeterminism(t *testing.T) {
+	straight := map[core.CPUModel]*core.GuestResult{}
+	for _, model := range core.AllCPUModels {
+		res, err := core.RunGuest(core.GuestConfig{
+			CPU: model, Mode: core.SE, Workload: "sieve", Scale: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight[model] = res
+	}
+	data, _ := ffAndCheckpoint(t, "sieve", 1024, 2*sim.Microsecond)
+	ck, err := core.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range core.AllCPUModels {
+		model := model
+		t.Run(string(model), func(t *testing.T) {
+			g, err := core.RestoreGuest(core.GuestConfig{
+				CPU: model, Mode: core.SE, Workload: "sieve", Scale: 1024,
+			}, ck, sim.NewNopTracer())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := straight[model]
+			if res.ExitCode != want.ExitCode {
+				t.Errorf("restored exit %#x, straight %#x", res.ExitCode, want.ExitCode)
+			}
+			if !res.ChecksumOK {
+				t.Errorf("restored run checksum mismatch")
+			}
+			if ck.Insts+res.Insts != want.Insts {
+				t.Errorf("instruction conservation: %d (checkpoint) + %d (restored) != %d (straight)",
+					ck.Insts, res.Insts, want.Insts)
+			}
+		})
+	}
+}
+
+// FuzzCheckpointRoundTrip drives the checkpoint cut point and target model
+// from fuzzer inputs: any reachable cut must encode to JSON that decodes
+// and re-encodes byte-identically, and the restored run must finish with
+// the straight run's checksum and instruction count.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(int64(2), uint8(0))
+	f.Add(int64(5), uint8(1))
+	f.Add(int64(9), uint8(2))
+	f.Add(int64(13), uint8(3))
+	f.Fuzz(func(t *testing.T, deltaUS int64, modelIdx uint8) {
+		if deltaUS <= 0 || deltaUS > 50 {
+			t.Skip()
+		}
+		model := core.AllCPUModels[int(modelIdx)%len(core.AllCPUModels)]
+		cfg := core.GuestConfig{CPU: core.Atomic, Mode: core.SE, Workload: "sieve", Scale: 1024}
+		g, err := core.BuildGuest(cfg, sim.NewNopTracer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := g.RunFor(sim.Tick(deltaUS) * sim.Microsecond); res.Status != sim.ExitLimit {
+			t.Skip() // workload finished before the cut point
+		}
+		ck, err := g.TakeCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck2, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		data2, err := ck2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Fatal("checkpoint encode/decode/encode not byte-identical")
+		}
+		straight, err := core.RunGuest(core.GuestConfig{
+			CPU: model, Mode: core.SE, Workload: "sieve", Scale: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := core.RestoreGuest(core.GuestConfig{
+			CPU: model, Mode: core.SE, Workload: "sieve", Scale: 1024,
+		}, ck2, sim.NewNopTracer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != straight.ExitCode {
+			t.Errorf("%s: restored exit %#x, straight %#x", model, res.ExitCode, straight.ExitCode)
+		}
+		if ck2.Insts+res.Insts != straight.Insts {
+			t.Errorf("%s: instruction conservation: %d + %d != %d", model, ck2.Insts, res.Insts, straight.Insts)
+		}
+	})
+}
+
 func TestCheckpointRequiresAtomic(t *testing.T) {
 	g, err := core.BuildGuest(core.GuestConfig{
 		CPU: core.Timing, Mode: core.SE, Workload: "sieve", Scale: 1024,

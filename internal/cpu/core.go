@@ -157,6 +157,11 @@ type Core struct {
 	libFns    []sim.FuncID
 	libRotor  int
 	libStride uint64
+
+	// commitHook, when non-nil, observes every architecturally committed
+	// instruction. The conformance subsystem uses it for lockstep trace
+	// hashing and first-divergence capture.
+	commitHook func(pc uint32, in isa.Inst)
 }
 
 func newCore(sys *sim.System, model string, cfg Config) *Core {
@@ -272,6 +277,12 @@ func (c *Core) Clock() sim.Tick { return c.clock }
 
 // CommittedInsts returns the number of retired instructions.
 func (c *Core) CommittedInsts() uint64 { return c.numInsts.Count() }
+
+// SetCommitHook installs fn on the core's retire path: it fires once per
+// architecturally committed instruction with the pre-execution PC and the
+// decoded form, in commit order, on every CPU model. A nil fn disables the
+// hook. Speculative (squashed) instructions never reach it.
+func (c *Core) SetCommitHook(fn func(pc uint32, in isa.Inst)) { c.commitHook = fn }
 
 // Halted reports whether the core has stopped permanently.
 func (c *Core) Halted() bool { return c.halted }
@@ -433,6 +444,9 @@ func (c *Core) execute(in isa.Inst) (isa.Outcome, error) {
 		return out, fmt.Errorf("cpu: %s at pc %#x: %w", c.name, c.pc, err)
 	}
 	c.numInsts.Inc()
+	if c.commitHook != nil {
+		c.commitHook(pcBefore, in)
+	}
 	if c.cfg.ExecTrace != nil {
 		fmt.Fprintf(c.cfg.ExecTrace, "%10d: %s: %#08x: %s\n",
 			c.sys.Now(), c.name, pcBefore, in)

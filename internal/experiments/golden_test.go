@@ -1,11 +1,10 @@
 package experiments
 
 // Determinism witness for the hot-path data-structure work: the
-// quick-mode fig02 (Top-Down breakdown) and fig08 (miss-rate table)
-// reports must stay byte-identical to the fixtures captured before the
-// flattened-cache / O(1)-TLB / memoized-pageOf refactor. Any modeled
-// outcome drifting — one extra miss, one different victim — moves these
-// tables.
+// quick-mode fig02 (Top-Down breakdown), fig04, fig07, and fig08
+// (miss-rate table) reports must stay byte-identical to their captured
+// fixtures. Any modeled outcome drifting — one extra miss, one different
+// victim — moves these tables.
 //
 // To regenerate after an *intentional* model change:
 //
@@ -21,7 +20,7 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report fixtures")
 
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"fig02", "fig08"} {
+	for _, id := range []string{"fig02", "fig04", "fig07", "fig08"} {
 		t.Run(id, func(t *testing.T) {
 			ResetCaches()
 			res, err := Run(id, Options{Quick: true, Jobs: 1})

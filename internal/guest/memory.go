@@ -5,6 +5,7 @@ package guest
 
 import (
 	"fmt"
+	"sort"
 
 	"gem5prof/internal/isa"
 )
@@ -149,6 +150,46 @@ func (m *Memory) FetchWord(pc uint32) (isa.Word, error) {
 
 // TouchedPages returns how many distinct pages have been written.
 func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// Checksum returns an FNV-1a hash of the memory contents, independent of
+// page-allocation history: pages are hashed in address order and all-zero
+// pages (allocated or not) contribute nothing, so two memories with equal
+// byte contents hash equal even if one touched extra pages with zeroes.
+// The conformance lockstep runner diffs final memory images with it.
+func (m *Memory) Checksum() uint64 {
+	idxs := make([]uint32, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		// Mix the page address so equal contents at different addresses
+		// hash differently.
+		for shift := 0; shift < 32; shift += 8 {
+			h = (h ^ uint64(byte(idx>>shift))) * prime64
+		}
+		for _, b := range p {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
 
 // Load copies an assembled program image into memory.
 func (m *Memory) Load(p *isa.Program) error {

@@ -13,6 +13,10 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	f := func(addr uint16, size uint8, v uint64) bool {
 		s := int(size)%8 + 1
 		a := uint32(addr)
+		if uint64(a)+uint64(s) > uint64(m.Size()) {
+			// Straddles the end of memory: the write must be rejected.
+			return m.Write(a, s, v) != nil
+		}
 		if err := m.Write(a, s, v); err != nil {
 			return false
 		}

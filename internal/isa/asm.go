@@ -37,6 +37,12 @@ func (p *Program) Symbol(name string) uint32 {
 // DefaultBase is the load address used when a source omits .org.
 const DefaultBase uint32 = 0x1000
 
+// maxSpaceBytes caps a single .space reservation and the total assembled
+// image. Guest memories top out at a few tens of MiB, so a larger request
+// is a typo (or a fuzzer input) rather than a real program, and rejecting
+// it keeps assembly cost proportional to source length.
+const maxSpaceBytes = 16 << 20
+
 // Register aliases follow the RISC-V ABI names.
 var regAliases = map[string]uint8{
 	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
@@ -137,6 +143,9 @@ func Assemble(src string) (*Program, error) {
 			it.addr = loc
 			items = append(items, it)
 			loc += uint32(len(it.raw))
+			if loc-base > maxSpaceBytes {
+				return nil, fail(line, "image size %d exceeds the %d-byte cap", loc-base, maxSpaceBytes)
+			}
 			continue
 		}
 
@@ -155,7 +164,10 @@ func Assemble(src string) (*Program, error) {
 		loc += uint32(n) * InstBytes
 	}
 	if !baseSet {
-		base = DefaultBase
+		// No labels, instructions, or directives ever set the origin, so
+		// loc is still 0: reset it alongside base or loc-base underflows
+		// (an empty source would reserve a ~4 GiB output buffer below).
+		base, loc = DefaultBase, DefaultBase
 	}
 
 	// Pass 2: encode.
@@ -258,13 +270,16 @@ func directive(line int, mnem string, args []string, rest string, loc, base uint
 		if err != nil || v < 0 {
 			return fail(".space: bad size")
 		}
+		if v > maxSpaceBytes {
+			return fail(".space: size %d exceeds the %d-byte image cap", v, maxSpaceBytes)
+		}
 		return item{line: line, raw: make([]byte, v)}, 0, 0, nil
 	case ".align":
 		if len(args) != 1 {
 			return fail(".align needs a byte alignment")
 		}
 		v, err := parseImm(args[0])
-		if err != nil || v <= 0 || v&(v-1) != 0 {
+		if err != nil || v <= 0 || v&(v-1) != 0 || v > maxSpaceBytes {
 			return fail(".align: bad alignment")
 		}
 		pad := (uint32(v) - loc%uint32(v)) % uint32(v)

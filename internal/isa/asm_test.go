@@ -249,10 +249,28 @@ func TestAssembleErrors(t *testing.T) {
 		"li x1",                            // missing value
 		"la x1, nowhere",                   // undefined la
 		".asciz hi",                        // unquoted
+		".space 999999999",                 // over the image cap
+		".align 2147483648",                // pad would exceed the image cap
+		".space 9000000\n.space 9000000",   // cumulative image over the cap
 	}
 	for _, src := range bad {
 		if _, err := Assemble(src); err == nil {
 			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestAssembleEmptySource pins the fix for a buffer-sizing bug: a source
+// with no code ever emitted left loc at 0 while base defaulted to 0x1000,
+// and the loc-base underflow reserved a ~4 GiB output buffer.
+func TestAssembleEmptySource(t *testing.T) {
+	for _, src := range []string{"", "# comment only\n", "\n\n\n", "; other comment style"} {
+		prog, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("Assemble(%q): %v", src, err)
+		}
+		if len(prog.Data) != 0 || cap(prog.Data) > 64 {
+			t.Fatalf("Assemble(%q): len=%d cap=%d, want empty", src, len(prog.Data), cap(prog.Data))
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeEncode checks the decoder/encoder pair over the full 32-bit
+// word space: any word whose opcode is valid must decode to an instruction
+// the encoder accepts, and re-encoding must be a stable normalization
+// (encode(decode(w)) is a fixed point of decode∘encode).
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(MustEncode(Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3})))
+	f.Add(uint32(MustEncode(Inst{Op: OpAddi, Rd: 5, Rs1: 5, Imm: -1})))
+	f.Add(uint32(MustEncode(Inst{Op: OpLui, Rd: 7, Imm: -1}))) // all-ones 20-bit pattern
+	f.Add(uint32(MustEncode(Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -4})))
+	f.Add(uint32(MustEncode(Inst{Op: OpEcall})))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := Decode(Word(w))
+		if !in.Op.Valid() {
+			t.Skip()
+		}
+		canon, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decode(%#x) = %+v rejected by encoder: %v", w, in, err)
+		}
+		if got := Decode(canon); got != in {
+			t.Fatalf("decode(%#x) = %+v, but decode(encode(...)) = %+v", w, in, got)
+		}
+		again, err := Encode(Decode(canon))
+		if err != nil || again != canon {
+			t.Fatalf("normalization unstable: %#x -> %#x -> %#x (%v)", w, canon, again, err)
+		}
+	})
+}
+
+// FuzzAsmRoundTrip checks the assemble→disassemble→assemble fixed point:
+// any source the assembler accepts, once lowered to canonical words, must
+// disassemble (Inst.String) to text that reassembles to the identical
+// image. Programs containing data words that are not canonical
+// instructions are skipped — raw data has no faithful disassembly.
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add("start:\n  li a0, 42\n  addi a0, a0, 1\n  ecall\n")
+	f.Add("  li sp, 0x8000\n  la t0, buf\n  sw a0, 0(t0)\n  lw a1, 0(t0)\n  ebreak\nbuf:\n  .space 16\n")
+	f.Add("loop:\n  addi t0, t0, -1\n  bne t0, x0, loop\n  jal x1, done\ndone:\n  ecall\n")
+	f.Add("  fld f1, 0(s10)\n  fadd f2, f1, f1\n  fsd f2, 8(s10)\n  csrrw x5, 0x340, x6\n  mret\n")
+	f.Add("  lui x1, 0xfffff\n  ori x1, x1, 123\n  jalr x0, 0(x1)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip() // keep per-exec cost bounded (.space can be huge)
+		}
+		prog, err := Assemble(src)
+		if err != nil || len(prog.Data)%4 != 0 || len(prog.Data) == 0 || len(prog.Data) > 16384 {
+			t.Skip()
+		}
+		var lines []string
+		for off := 0; off < len(prog.Data); off += 4 {
+			w := Word(binary.LittleEndian.Uint32(prog.Data[off:]))
+			in := Decode(w)
+			if !in.Op.Valid() {
+				t.Skip() // data word, not an instruction
+			}
+			canon, err := Encode(in)
+			if err != nil || canon != w {
+				t.Skip() // non-canonical word (e.g. data that happens to decode)
+			}
+			lines = append(lines, in.String())
+		}
+		src2 := strings.Join(lines, "\n") + "\n"
+		prog2, err := Assemble(src2)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, src2)
+		}
+		if !bytes.Equal(prog.Data, prog2.Data) {
+			t.Fatalf("round trip changed image:\noriginal:  %x\nroundtrip: %x\ndisassembly:\n%s",
+				prog.Data, prog2.Data, src2)
+		}
+	})
+}

@@ -294,3 +294,67 @@ func OpByName(name string) (Op, bool) {
 	op, ok := opByName[name]
 	return op, ok
 }
+
+// OpMeta is the exported, read-only metadata of one opcode: everything a
+// program generator (internal/conformance) needs to build a structurally
+// valid instruction without duplicating the opcode table.
+type OpMeta struct {
+	Op     Op
+	Name   string
+	Format Format
+	Class  Class
+
+	// Operand usage. The Fp* flags mark operands naming f registers.
+	ReadsRs1 bool
+	ReadsRs2 bool
+	WritesRd bool
+	FpRs1    bool
+	FpRs2    bool
+	FpRd     bool
+
+	// Behavioural grouping.
+	IsLoad   bool
+	IsStore  bool
+	IsBranch bool // conditional control flow
+	IsJump   bool // unconditional control flow
+	IsSystem bool
+
+	// MemSize is the bytes moved by loads/stores (0 otherwise).
+	MemSize int
+}
+
+// Meta returns the opcode's exported metadata. Meta of an out-of-range
+// opcode returns OpInvalid's metadata.
+func (op Op) Meta() OpMeta {
+	if int(op) >= NumOps {
+		op = OpInvalid
+	}
+	in := &opTable[op]
+	return OpMeta{
+		Op:       op,
+		Name:     in.name,
+		Format:   in.format,
+		Class:    in.class,
+		ReadsRs1: in.readsRs1,
+		ReadsRs2: in.readsRs2,
+		WritesRd: in.writesRd,
+		FpRs1:    in.fpRs1,
+		FpRs2:    in.fpRs2,
+		FpRd:     in.fpRd,
+		IsLoad:   in.isLoad,
+		IsStore:  in.isStore,
+		IsBranch: in.isBranch,
+		IsJump:   in.isJump,
+		IsSystem: in.isSystem,
+		MemSize:  int(in.memSize),
+	}
+}
+
+// Opcodes returns every defined opcode except OpInvalid, in numeric order.
+func Opcodes() []Op {
+	out := make([]Op, 0, NumOps-1)
+	for op := Op(1); int(op) < NumOps; op++ {
+		out = append(out, op)
+	}
+	return out
+}

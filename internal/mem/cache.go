@@ -102,7 +102,12 @@ type Cache struct {
 	fnWriteback sim.FuncID
 	tagHostBase uint64
 
-	// Statistics.
+	// Statistics. Every demand access entering the cache increments
+	// accesses exactly once, and is resolved by exactly one of hits,
+	// misses, or mshrHits — the conformance invariant walker checks
+	// hits+misses+mshrHits == accesses on drained systems (<= otherwise,
+	// since MSHR-full accesses park in pending unresolved).
+	accesses   *sim.Counter
 	hits       *sim.Counter
 	misses     *sim.Counter
 	mshrHits   *sim.Counter
@@ -137,6 +142,7 @@ func NewCache(sys *sim.System, cfg CacheConfig, next Port) *Cache {
 	c.fnWriteback = tr.RegisterFunc(cfg.Name+"::writebackBlk", 700, sim.FuncVirtual)
 	c.tagHostBase = tr.AllocData(cfg.Name+".tags", uint64(numSets)*uint64(cfg.Ways)*16)
 	st := sys.Stats()
+	c.accesses = st.Counter(cfg.Name+".accesses", "demand accesses entering the cache")
 	c.hits = st.Counter(cfg.Name+".hits", "demand hits")
 	c.misses = st.Counter(cfg.Name+".misses", "demand misses")
 	c.mshrHits = st.Counter(cfg.Name+".mshrHits", "misses coalesced into an MSHR")
@@ -250,8 +256,12 @@ func (c *Cache) fill(addr uint32, dirty bool, atomic bool) (wbLatency sim.Tick) 
 	return wbLatency
 }
 
+// Accesses returns the demand access count.
+func (c *Cache) Accesses() uint64 { return c.accesses.Count() }
+
 // AtomicLatency implements Port.
 func (c *Cache) AtomicLatency(acc Access) sim.Tick {
+	c.accesses.Inc()
 	c.sys.Tracer().Call(c.fnAccess)
 	c.traceTagProbe(acc.Addr)
 	if l := c.lookup(acc.Addr); l != nil {
@@ -273,6 +283,13 @@ func (c *Cache) AtomicLatency(acc Access) sim.Tick {
 
 // SendTiming implements Port.
 func (c *Cache) SendTiming(acc Access, done func()) {
+	c.accesses.Inc()
+	c.sendTiming(acc, done)
+}
+
+// sendTiming is the access path shared by fresh demand accesses and
+// MSHR-freed re-probes; only the former count toward the accesses stat.
+func (c *Cache) sendTiming(acc Access, done func()) {
 	c.sys.Tracer().Call(c.fnAccess)
 	c.traceTagProbe(acc.Addr)
 	if done == nil {
@@ -294,14 +311,17 @@ func (c *Cache) SendTiming(acc Access, done func()) {
 func (c *Cache) startMiss(acc Access, done func()) {
 	block := blockAlign(acc.Addr, c.cfg.BlockBytes)
 	if m, ok := c.mshrs[block]; ok {
-		// Coalesce into the outstanding miss.
-		c.mshrHits.Inc()
+		// Coalesce into the outstanding miss. Each coalesced access
+		// resolves as exactly one of mshrHits or misses: a demand access
+		// hitting a prefetch MSHR promotes it and counts as the demand
+		// miss the prefetch hid.
 		m.write = m.write || acc.Write
 		m.waiters = append(m.waiters, done)
 		if m.prefetch {
-			// A demand access hit a prefetch MSHR: count the demand miss.
 			m.prefetch = false
 			c.misses.Inc()
+		} else {
+			c.mshrHits.Inc()
 		}
 		return
 	}
@@ -380,12 +400,13 @@ func (c *Cache) handleFill(m *mshr) {
 		ev := sim.NewEvent(c.nameFill, c.fnFill, w)
 		c.sys.ScheduleIn(ev, c.cfg.ResponseLatency)
 	}
-	// Service a queued request now that an MSHR is free.
+	// Service a queued request now that an MSHR is free. The re-probe
+	// must not recount the access: it was counted when it first entered.
 	if len(c.pending) > 0 && len(c.mshrs) < c.cfg.MSHRs {
 		p := c.pending[0]
 		c.pending = c.pending[1:]
 		// Re-probe: the fill may have satisfied it.
-		c.SendTiming(p.acc, p.done)
+		c.sendTiming(p.acc, p.done)
 	}
 }
 

@@ -34,8 +34,12 @@ type TLB struct {
 	fnLookup sim.FuncID
 	nameWalk string
 
-	hits   *sim.Counter
-	misses *sim.Counter
+	// translations counts every lookup; since lookups resolve
+	// synchronously, hits + misses == translations always holds — the
+	// conformance invariant walker checks it.
+	translations *sim.Counter
+	hits         *sim.Counter
+	misses       *sim.Counter
 }
 
 // NewTLB builds a TLB in front of next.
@@ -50,6 +54,7 @@ func NewTLB(sys *sim.System, cfg TLBConfig, next Port) *TLB {
 	t.fnLookup = sys.Tracer().RegisterFunc(cfg.Name+"::translateTiming", 1900, sim.FuncVirtual)
 	t.nameWalk = cfg.Name + ".walk"
 	st := sys.Stats()
+	t.translations = st.Counter(cfg.Name+".translations", "address translations requested")
 	t.hits = st.Counter(cfg.Name+".hits", "TLB hits")
 	t.misses = st.Counter(cfg.Name+".misses", "TLB misses (table walks)")
 	sys.Register(t)
@@ -74,9 +79,13 @@ func (t *TLB) MissRate() float64 {
 	return float64(t.misses.Count()) / float64(total)
 }
 
+// Translations returns the total lookup count.
+func (t *TLB) Translations() uint64 { return t.translations.Count() }
+
 // lookup probes and fills the entry file; returns true on hit.
 func (t *TLB) lookup(addr uint32) bool {
 	t.sys.Tracer().Call(t.fnLookup)
+	t.translations.Inc()
 	page := uint64(addr / t.cfg.PageBytes)
 	if slot, ok := t.idx.Lookup(page); ok {
 		t.idx.Touch(slot)

@@ -125,6 +125,13 @@ func (h *Histogram) Observe(v float64) {
 // Samples returns the number of observations.
 func (h *Histogram) Samples() uint64 { return h.samples }
 
+// Sum returns the running sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// BucketCount returns the number of buckets including the overflow bucket,
+// so valid Bucket indices are 0..BucketCount()-1.
+func (h *Histogram) BucketCount() int { return len(h.counts) }
+
 // Min returns the smallest observed sample (0 when empty).
 func (h *Histogram) Min() float64 { return h.min }
 
@@ -194,6 +201,11 @@ func (r *Registry) Histogram(name, desc string, bounds []float64) *Histogram {
 
 // Lookup returns the stat with the given name, or nil.
 func (r *Registry) Lookup(name string) Stat { return r.byName[name] }
+
+// All returns every registered stat in registration order. The returned
+// slice is shared; callers must not mutate it. The invariant walker
+// (internal/conformance) uses it to type-switch over the whole registry.
+func (r *Registry) All() []Stat { return r.stats }
 
 // Get returns the value of the named stat; it panics if the stat is missing.
 func (r *Registry) Get(name string) float64 {
