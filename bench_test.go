@@ -138,6 +138,12 @@ func BenchmarkFig15_HotFunctions(b *testing.B) {
 
 // cosim runs one co-simulation and returns the modeled host seconds.
 func cosim(b *testing.B, host gem5prof.HostConfig, hc gem5prof.HostCodeConfig) float64 {
+	return cosimMode(b, host, hc, gem5prof.PipelineAuto)
+}
+
+// cosimMode is cosim with an explicit pipeline mode (serial vs
+// producer/consumer split; modeled results are bit-identical either way).
+func cosimMode(b *testing.B, host gem5prof.HostConfig, hc gem5prof.HostCodeConfig, mode gem5prof.PipelineMode) float64 {
 	b.Helper()
 	res, err := gem5prof.RunSession(gem5prof.SessionConfig{
 		Guest: gem5prof.GuestConfig{
@@ -146,6 +152,7 @@ func cosim(b *testing.B, host gem5prof.HostConfig, hc gem5prof.HostCodeConfig) f
 		},
 		Host:     host,
 		HostCode: hc,
+		Pipeline: mode,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -362,6 +369,24 @@ func BenchmarkGuestO3(b *testing.B) {
 func BenchmarkCosimXeon(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cosim(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{})
+	}
+}
+
+// BenchmarkCosimXeonSerial / BenchmarkCosimXeonPipelined are the
+// pipelining PR's before/after pair (BENCH_pipeline.json): the same
+// co-simulation with the guest+hostmodel producer and the uarch consumer
+// on one goroutine vs decoupled over the internal/ring batch ring. The
+// speedup requires a second hardware core; on GOMAXPROCS==1 the pipelined
+// variant measures pure ring overhead.
+func BenchmarkCosimXeonSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cosimMode(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{}, gem5prof.PipelineOff)
+	}
+}
+
+func BenchmarkCosimXeonPipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cosimMode(b, gem5prof.IntelXeon(), gem5prof.HostCodeConfig{}, gem5prof.PipelineOn)
 	}
 }
 

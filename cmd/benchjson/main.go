@@ -7,14 +7,30 @@
 //
 //	go test -bench 'BenchmarkHostMachineFetch' -benchmem . | go run ./cmd/benchjson > BENCH_hotpath.json
 //
+//	go test -bench ... | go run ./cmd/benchjson \
+//	    -check BENCH_hotpath.json,BENCH_pipeline.json -tolerance 0.15 > fresh.json
+//
 // Lines that are not benchmark results (goos/goarch/pkg/cpu headers, PASS,
 // ok) are folded into the context block; unknown lines are ignored.
+//
+// -check is the CI regression gate: every checked-in record whose name
+// matches a fresh result is compared on ns/op (a record's baseline is its
+// after_ns_per_op field if present, else ns_per_op — both the archived
+// before/after documents at the repo root and benchjson's own output
+// parse), and the command exits 3 if any fresh result is more than
+// -tolerance (default 0.15, i.e. 15%) slower than its baseline. This is
+// what keeps the hot-path flattening PR's and the pipelining PR's wins
+// from silently rotting. Baselines are per-runner-class: a cpu mismatch
+// between the baseline's context block and the fresh run's is reported to
+// stderr so cross-machine noise is diagnosable.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,8 +54,55 @@ type Doc struct {
 }
 
 func main() {
+	check := flag.String("check", "", "comma-separated baseline JSON files; fail (exit 3) on any >tolerance ns/op regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression against -check baselines")
+	flag.Parse()
+
+	doc, err := parseStream(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *check == "" {
+		return
+	}
+	failed := false
+	for _, path := range strings.Split(*check, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		base, err := loadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if bcpu, fcpu := base.contextString("cpu"), doc.Context["cpu"]; bcpu != "" && fcpu != "" && bcpu != fcpu {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %s was recorded on %q, this run is on %q — absolute comparison is cross-machine\n",
+				path, bcpu, fcpu)
+		}
+		for _, line := range compare(doc, base, *tolerance) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %s\n", path, line.text)
+			failed = failed || line.regressed
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: benchmark regression beyond %.0f%%\n", *tolerance*100)
+		os.Exit(3)
+	}
+}
+
+// parseStream parses `go test -bench` output into a Doc.
+func parseStream(in io.Reader) (Doc, error) {
 	doc := Doc{Context: map[string]string{}, Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -56,16 +119,93 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// baselineEntry is one record of a checked-in benchmark document. Both
+// benchjson's own output (ns_per_op) and the hand-annotated before/after
+// records at the repo root (after_ns_per_op) parse into it.
+type baselineEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AfterNsPerOp float64 `json:"after_ns_per_op"`
+}
+
+// baseline returns the entry's gating value: the post-optimization number
+// when the record carries a before/after pair, else the plain measurement.
+func (e baselineEntry) baseline() float64 {
+	if e.AfterNsPerOp > 0 {
+		return e.AfterNsPerOp
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	return e.NsPerOp
+}
+
+// baselineDoc is a checked-in benchmark document. Context values are
+// free-form (the hand-annotated records carry non-string entries), so they
+// decode as any.
+type baselineDoc struct {
+	Context    map[string]any  `json:"context"`
+	Benchmarks []baselineEntry `json:"benchmarks"`
+}
+
+// contextString returns the named context value if it is a string.
+func (d baselineDoc) contextString(key string) string {
+	s, _ := d.Context[key].(string)
+	return s
+}
+
+func loadBaseline(path string) (baselineDoc, error) {
+	var doc baselineDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
 	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// verdict is one comparison outcome line.
+type verdict struct {
+	text      string
+	regressed bool
+}
+
+// compare gates fresh against base: any fresh ns/op more than tolerance
+// above its baseline is a regression. Baseline entries the fresh run did
+// not measure are reported but never fail (bench selection legitimately
+// varies); entries without a usable baseline value are skipped.
+func compare(fresh Doc, base baselineDoc, tolerance float64) []verdict {
+	freshBy := map[string]Result{}
+	for _, r := range fresh.Benchmarks {
+		freshBy[r.Name] = r
+	}
+	var out []verdict
+	for _, e := range base.Benchmarks {
+		want := e.baseline()
+		if want <= 0 {
+			continue
+		}
+		got, ok := freshBy[e.Name]
+		if !ok {
+			out = append(out, verdict{text: fmt.Sprintf("%s: baseline %.4g ns/op, not measured in this run", e.Name, want)})
+			continue
+		}
+		ratio := got.NsPerOp / want
+		switch {
+		case ratio > 1+tolerance:
+			out = append(out, verdict{
+				text: fmt.Sprintf("%s: REGRESSED %.4g -> %.4g ns/op (%+.1f%%, limit %+.0f%%)",
+					e.Name, want, got.NsPerOp, (ratio-1)*100, tolerance*100),
+				regressed: true,
+			})
+		default:
+			out = append(out, verdict{text: fmt.Sprintf("%s: ok %.4g -> %.4g ns/op (%+.1f%%)",
+				e.Name, want, got.NsPerOp, (ratio-1)*100)})
+		}
+	}
+	return out
 }
 
 // parseBench parses one result line of the form

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: gem5prof
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCosimXeonSerial-4     	       2	600000000 ns/op	     50000 allocs/op
+BenchmarkCosimXeonPipelined-4  	       3	400000000 ns/op	       1.5 speedup-x
+BenchmarkEventQueueHeap/depth64-4	10000000	      70.0 ns/op
+PASS
+ok  	gem5prof	12.3s
+`
+
+func TestParseStream(t *testing.T) {
+	doc, err := parseStream(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu context = %q", doc.Context["cpu"])
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	byName := map[string]Result{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	if got := byName["BenchmarkCosimXeonSerial"]; got.NsPerOp != 600000000 || got.AllocsPerOp == nil || *got.AllocsPerOp != 50000 {
+		t.Fatalf("serial result = %+v", got)
+	}
+	if got := byName["BenchmarkCosimXeonPipelined"]; got.Metrics["speedup-x"] != 1.5 {
+		t.Fatalf("pipelined metrics = %+v", got.Metrics)
+	}
+	if _, ok := byName["BenchmarkEventQueueHeap/depth64"]; !ok {
+		t.Fatal("sub-benchmark name not preserved")
+	}
+}
+
+// TestCompareGate is the regression-gate contract: within tolerance passes,
+// beyond tolerance fails, both baseline spellings (ns_per_op and
+// after_ns_per_op) gate, and baselines missing from the fresh run warn
+// without failing.
+func TestCompareGate(t *testing.T) {
+	fresh := Doc{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 110},  // +10% vs 100: within 15%
+		{Name: "BenchmarkB", NsPerOp: 120},  // +20% vs 100: regression
+		{Name: "BenchmarkC", NsPerOp: 90},   // improvement
+		{Name: "BenchmarkD", NsPerOp: 1000}, // no baseline entry: ignored
+	}}
+	base := baselineDoc{Benchmarks: []baselineEntry{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", AfterNsPerOp: 100}, // before/after record form
+		{Name: "BenchmarkC", NsPerOp: 100, AfterNsPerOp: 95},
+		{Name: "BenchmarkUnmeasured", NsPerOp: 50},
+		{Name: "BenchmarkNoValue"}, // no usable baseline: skipped
+	}}
+	got := compare(fresh, base, 0.15)
+	regressed := map[string]bool{}
+	for _, v := range got {
+		name, _, _ := strings.Cut(v.text, ":")
+		regressed[name] = v.regressed
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d verdicts, want 4: %+v", len(got), got)
+	}
+	for name, want := range map[string]bool{
+		"BenchmarkA":          false,
+		"BenchmarkB":          true,
+		"BenchmarkC":          false,
+		"BenchmarkUnmeasured": false,
+	} {
+		if v, ok := regressed[name]; !ok || v != want {
+			t.Errorf("%s: regressed=%v present=%v, want regressed=%v", name, v, ok, want)
+		}
+	}
+	// after_ns_per_op must win over ns_per_op when both are present.
+	if e := (baselineEntry{NsPerOp: 100, AfterNsPerOp: 95}); e.baseline() != 95 {
+		t.Errorf("baseline() = %v, want after_ns_per_op 95", e.baseline())
+	}
+}
+
+// TestCompareToleranceBoundary pins the strict-inequality edge: exactly
+// tolerance is not a regression.
+func TestCompareToleranceBoundary(t *testing.T) {
+	fresh := Doc{Benchmarks: []Result{{Name: "BenchmarkEdge", NsPerOp: 115}}}
+	base := baselineDoc{Benchmarks: []baselineEntry{{Name: "BenchmarkEdge", NsPerOp: 100}}}
+	for _, v := range compare(fresh, base, 0.15) {
+		if v.regressed {
+			t.Fatalf("exactly +15%% flagged as regression: %s", v.text)
+		}
+	}
+}

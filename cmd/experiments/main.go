@@ -2,13 +2,23 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-o out.txt]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-pipeline auto|on|off]
+//	            [-o out.txt] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -cpuprofile and -memprofile write pprof profiles of the harness itself
 // (the tool the paper applies to gem5, applied to our reproduction of it),
 // which is how the hot-path work in internal/uarch, internal/hostmodel and
-// internal/mem is measured before and after.
+// internal/mem is measured before and after. Profiles are flushed and
+// closed via defer on every exit path, including experiment failures, so a
+// failing run still yields a usable profile. Goroutines carry pprof labels
+// (cosim-stage = experiment-worker / guest-producer / uarch-consumer), so
+// `go tool pprof -tagfocus` attributes time to pipeline stages.
+//
+// -pipeline controls the in-session producer/consumer split (see DESIGN.md
+// §10): every co-simulation runs its guest simulator + trace synthesis and
+// its host uarch model on separate goroutines coupled by a batched SPSC
+// ring. Output is byte-identical in every mode; "auto" (default) enables
+// it when GOMAXPROCS > 1. See EXPERIMENTS.md for the full flag reference.
 //
 // Each experiment prints an aligned table whose rows mirror the series of
 // the corresponding figure, plus notes comparing the measured shape with the
@@ -33,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"gem5prof/internal/core"
 	"gem5prof/internal/experiments"
 )
 
@@ -46,10 +57,18 @@ func run() int {
 	quick := flag.Bool("quick", false, "use reduced workload sets and problem sizes")
 	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
+	pipeline := flag.String("pipeline", "auto", "in-session producer/consumer pipeline: auto, on, or off (output is identical in every mode)")
 	outPath := flag.String("o", "", "also write the report to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	mode, ok := core.ParsePipelineMode(*pipeline)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "invalid -pipeline %q (want auto, on, or off)\n", *pipeline)
+		return 2
+	}
+	core.SetDefaultPipeline(mode)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -58,10 +77,20 @@ func run() int {
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer pprof.StopCPUProfile()
+		// Stop and close via defer so the profile is complete on every
+		// exit path of run() — experiment failures included. (main exits
+		// through run()'s return value, never os.Exit directly, precisely
+		// so these defers always execute.)
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			}
+		}()
 	}
 	if *memProfile != "" {
 		defer func() {

@@ -113,6 +113,10 @@ type (
 	Profiler = profiler.Profiler
 	// HugePageMode selects base/THP/EHP code backing (Figs. 10-11).
 	HugePageMode = uarch.HugePageMode
+	// PipelineMode selects serial or producer/consumer (ring-decoupled)
+	// execution of one co-simulation; statistics are bit-identical either
+	// way (DESIGN.md §10).
+	PipelineMode = core.PipelineMode
 )
 
 // Huge-page modes for the host text segment.
@@ -120,6 +124,25 @@ const (
 	PagesBase = uarch.PagesBase
 	PagesTHP  = uarch.PagesTHP
 	PagesEHP  = uarch.PagesEHP
+)
+
+// Pipeline modes for SessionConfig.Pipeline.
+const (
+	// PipelineAuto defers to SetDefaultPipeline, then to GOMAXPROCS>1.
+	PipelineAuto = core.PipelineAuto
+	// PipelineOff forces the serial co-simulation path.
+	PipelineOff = core.PipelineOff
+	// PipelineOn forces the pipelined path even on one processor.
+	PipelineOn = core.PipelineOn
+)
+
+var (
+	// SetDefaultPipeline sets the process-wide pipeline mode used when
+	// SessionConfig.Pipeline is PipelineAuto (the -pipeline flag of
+	// cmd/experiments).
+	SetDefaultPipeline = core.SetDefaultPipeline
+	// ParsePipelineMode parses "auto", "on" or "off".
+	ParsePipelineMode = core.ParsePipelineMode
 )
 
 // RunSession runs one co-simulation: the guest simulator executing on a

@@ -1,15 +1,105 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"io"
+	"runtime"
+	"runtime/pprof"
+	"sync/atomic"
 
 	"gem5prof/internal/hostmodel"
 	"gem5prof/internal/platform"
 	"gem5prof/internal/profiler"
+	"gem5prof/internal/ring"
 	"gem5prof/internal/uarch"
 )
+
+// PipelineMode selects whether a co-simulation runs its two stages — the
+// guest simulator + hostmodel trace synthesis (producer) and the
+// uarch.Machine (consumer) — on one goroutine or two, decoupled by a
+// batched SPSC ring (internal/ring). Strict FIFO delivery makes the
+// modeled statistics bit-identical either way (see DESIGN.md §10), so the
+// mode is purely a performance knob.
+type PipelineMode int
+
+// Pipeline modes.
+const (
+	// PipelineAuto (the zero value) defers to the process-wide default set
+	// by SetDefaultPipeline; if that too is auto, the pipeline is on
+	// exactly when GOMAXPROCS > 1.
+	PipelineAuto PipelineMode = iota
+	// PipelineOff forces the serial path (the pre-pipeline behaviour).
+	PipelineOff
+	// PipelineOn forces the pipelined path even on a single-processor
+	// runtime (useful for differential tests; on one core it only costs).
+	PipelineOn
+)
+
+// String renders the mode as its flag spelling.
+func (m PipelineMode) String() string {
+	switch m {
+	case PipelineOff:
+		return "off"
+	case PipelineOn:
+		return "on"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePipelineMode parses "auto", "on" or "off".
+func ParsePipelineMode(s string) (PipelineMode, bool) {
+	switch s {
+	case "auto", "":
+		return PipelineAuto, true
+	case "on", "true", "1":
+		return PipelineOn, true
+	case "off", "false", "0":
+		return PipelineOff, true
+	}
+	return PipelineAuto, false
+}
+
+// defaultPipeline is the process-wide mode that PipelineAuto sessions
+// resolve against (cmd/experiments' -pipeline flag sets it once at
+// startup). Atomic so concurrent sessions may read it freely.
+var defaultPipeline atomic.Int32
+
+// SetDefaultPipeline sets the process-wide pipeline mode used by sessions
+// whose SessionConfig.Pipeline is PipelineAuto.
+func SetDefaultPipeline(m PipelineMode) { defaultPipeline.Store(int32(m)) }
+
+// DefaultPipeline returns the process-wide pipeline mode.
+func DefaultPipeline() PipelineMode { return PipelineMode(defaultPipeline.Load()) }
+
+// enabled resolves the mode for one session. The function profiler reads
+// the machine's running cycle count synchronously from the producer side
+// (profiler.Enter/Leave → Machine.Cycles), which a decoupled consumer
+// cannot serve, so Profile always forces the serial path.
+func (m PipelineMode) enabled(profile bool) bool {
+	if profile {
+		return false
+	}
+	if m == PipelineAuto {
+		m = DefaultPipeline()
+	}
+	switch m {
+	case PipelineOn:
+		return true
+	case PipelineOff:
+		return false
+	default:
+		return runtime.GOMAXPROCS(0) > 1
+	}
+}
+
+// ringSlots is the per-session ring capacity in batches. 8 slots of 16 KiB
+// batches bound the producer's lead at 128 KiB of trace — enough slack
+// that neither side parks in steady state, small enough to stay resident
+// in a shared L2/LLC while crossing cores.
+const ringSlots = 8
 
 // SessionConfig describes one co-simulation: a guest g5 simulation executed
 // on a modeled host platform — the paper's unit of measurement.
@@ -23,8 +113,14 @@ type SessionConfig struct {
 	// SizeFactor < 1 models the -O3 build (Fig. 12).
 	HostCode hostmodel.Config
 	// Profile attaches the function profiler (Fig. 15). It adds overhead,
-	// so it is off by default.
+	// so it is off by default. Profiling forces PipelineOff: the profiler
+	// reads the host machine's cycle counter synchronously at every
+	// function entry/exit.
 	Profile bool
+	// Pipeline selects serial or producer/consumer execution of the
+	// co-simulation (bit-identical statistics either way). The zero value
+	// is PipelineAuto.
+	Pipeline PipelineMode
 }
 
 // SessionResult is one completed co-simulation.
@@ -68,10 +164,28 @@ func DeriveSeed(experiment string, cell int) int64 {
 // RunSession is safe for concurrent use: every call constructs its own guest
 // system, host machine, and code model, and the package-level state it reads
 // (workload registry, platform tables, SPEC profiles) is immutable after
-// init. The parallel experiment runner relies on this.
+// init. The parallel experiment runner relies on this. In pipelined mode
+// each session adds exactly one consumer goroutine for the duration of its
+// run, so a harness admitting Jobs concurrent sessions runs at most 2*Jobs
+// simulation goroutines.
 func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	host := platform.Contend(cfg.Host, cfg.Scenario)
 	machine := uarch.NewMachine(host)
+
+	// Pipelined mode interposes a batch encoder between the code model and
+	// the machine; the machine then consumes the identical event stream on
+	// its own goroutine (uarch.Consumer), started only after the address
+	// map below is final.
+	pipelined := cfg.Pipeline.enabled(cfg.Profile)
+	var sink hostmodel.Sink = machine
+	var enc *hostmodel.RingSink
+	var cons *uarch.Consumer
+	if pipelined {
+		rg := ring.New(ringSlots)
+		enc = hostmodel.NewRingSink(rg)
+		cons = uarch.NewConsumer(machine, rg)
+		sink = enc
+	}
 
 	hc := cfg.HostCode
 	if hc.TextBase == 0 {
@@ -81,7 +195,7 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 		}
 		hc = def
 	}
-	cm := hostmodel.New(hc, machine)
+	cm := hostmodel.New(hc, sink)
 
 	var prof *profiler.Profiler
 	if cfg.Profile {
@@ -102,7 +216,25 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	machine.MapData(hb, he)
 	machine.MapData(hc.StackBase-(1<<20), hc.StackBase+(1<<12))
 
-	gres, err := guest.Run()
+	var gres *GuestResult
+	if pipelined {
+		cons.Start()
+		// Label the producer stage so -cpuprofile output splits guest
+		// simulation + trace synthesis from the consumer's uarch time.
+		pprof.Do(context.Background(),
+			pprof.Labels("cosim-stage", "guest-producer"),
+			func(context.Context) { gres, err = guest.Run() })
+		// Flush-on-report barrier: publish the partial tail batch, close
+		// the ring, and wait for the consumer to apply everything — on the
+		// error path too, so no goroutine outlives its session.
+		enc.Close()
+		cons.Wait()
+		if err == nil {
+			err = enc.Err()
+		}
+	} else {
+		gres, err = guest.Run()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 )
@@ -35,13 +37,26 @@ func (r *Runner) Workers() int { return r.workers }
 // simulation runs hold slots — experiment coordinators (RunMany) never do,
 // which is what lets the nested fan-out proceed without deadlocking the
 // pool at -j 1.
+//
+// Goroutine accounting with the co-simulation pipeline: a slot admits one
+// session, and a pipelined session adds exactly one uarch-consumer
+// goroutine for the duration of its run (core.RunSession starts it after
+// admission and joins it before releasing the slot), so the harness runs
+// at most 2*Jobs simulation goroutines no matter how many experiments are
+// in flight.
+//
+// Workers carry the pprof label cosim-stage=experiment-worker; pipelined
+// sessions re-label their producer span and consumer goroutine, so a
+// -cpuprofile from cmd/experiments splits time across all three stages.
 func (r *Runner) submit(wg *sync.WaitGroup, fn func()) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		r.sem <- struct{}{}
 		defer func() { <-r.sem }()
-		fn()
+		pprof.Do(context.Background(),
+			pprof.Labels("cosim-stage", "experiment-worker"),
+			func(context.Context) { fn() })
 	}()
 }
 
