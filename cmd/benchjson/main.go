@@ -18,9 +18,12 @@
 // after_ns_per_op field if present, else ns_per_op — both the archived
 // before/after documents at the repo root and benchjson's own output
 // parse), and the command exits 3 if any fresh result is more than
-// -tolerance (default 0.15, i.e. 15%) slower than its baseline. This is
-// what keeps the hot-path flattening PR's and the pipelining PR's wins
-// from silently rotting. Baselines are per-runner-class: a cpu mismatch
+// -tolerance (default 0.15, i.e. 15%) slower than its baseline — or if a
+// baseline file is unreadable, is not valid JSON, or contains no usable
+// entries, since a gate whose baseline fails to load must fail rather
+// than pass vacuously. This is what keeps the hot-path flattening PR's
+// and the pipelining PR's wins from silently rotting. Baselines are
+// per-runner-class: a cpu mismatch
 // between the baseline's context block and the fresh run's is reported to
 // stderr so cross-machine noise is diagnosable.
 package main
@@ -73,30 +76,47 @@ func main() {
 	if *check == "" {
 		return
 	}
+	os.Exit(runCheck(doc, strings.Split(*check, ","), *tolerance, os.Stderr))
+}
+
+// runCheck gates the fresh document against every baseline file and
+// returns the process exit code: 0 when clean, 3 on any regression or any
+// unusable baseline. An unreadable file, malformed JSON, or a document
+// with no gateable ns/op entries (schema drift, an empty {}) all exit 3
+// rather than warn: a gate that cannot load its baseline would otherwise
+// pass vacuously, which is indistinguishable from green in CI.
+func runCheck(doc Doc, paths []string, tolerance float64, stderr io.Writer) int {
 	failed := false
-	for _, path := range strings.Split(*check, ",") {
+	for _, path := range paths {
 		path = strings.TrimSpace(path)
 		if path == "" {
 			continue
 		}
 		base, err := loadBaseline(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchjson: bad baseline: %v\n", err)
+			failed = true
+			continue
+		}
+		if base.gateable() == 0 {
+			fmt.Fprintf(stderr, "benchjson: bad baseline: %s: no usable ns/op entries (empty or schema-drifted document)\n", path)
+			failed = true
+			continue
 		}
 		if bcpu, fcpu := base.contextString("cpu"), doc.Context["cpu"]; bcpu != "" && fcpu != "" && bcpu != fcpu {
-			fmt.Fprintf(os.Stderr, "benchjson: note: %s was recorded on %q, this run is on %q — absolute comparison is cross-machine\n",
+			fmt.Fprintf(stderr, "benchjson: note: %s was recorded on %q, this run is on %q — absolute comparison is cross-machine\n",
 				path, bcpu, fcpu)
 		}
-		for _, line := range compare(doc, base, *tolerance) {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %s\n", path, line.text)
+		for _, line := range compare(doc, base, tolerance) {
+			fmt.Fprintf(stderr, "benchjson: %s: %s\n", path, line.text)
 			failed = failed || line.regressed
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: FAIL: benchmark regression beyond %.0f%%\n", *tolerance*100)
-		os.Exit(3)
+		fmt.Fprintf(stderr, "benchjson: FAIL: benchmark regression beyond %.0f%% or unusable baseline\n", tolerance*100)
+		return 3
 	}
+	return 0
 }
 
 // parseStream parses `go test -bench` output into a Doc.
@@ -152,6 +172,17 @@ type baselineDoc struct {
 func (d baselineDoc) contextString(key string) string {
 	s, _ := d.Context[key].(string)
 	return s
+}
+
+// gateable counts entries carrying a usable positive baseline value.
+func (d baselineDoc) gateable() int {
+	n := 0
+	for _, e := range d.Benchmarks {
+		if e.baseline() > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 func loadBaseline(path string) (baselineDoc, error) {

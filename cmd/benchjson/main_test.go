@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -93,6 +95,54 @@ func TestCompareToleranceBoundary(t *testing.T) {
 	for _, v := range compare(fresh, base, 0.15) {
 		if v.regressed {
 			t.Fatalf("exactly +15%% flagged as regression: %s", v.text)
+		}
+	}
+}
+
+// writeBaseline drops content into a temp file and returns its path.
+func writeBaseline(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCheckExitCodes is the fail-closed contract of the -check gate: a
+// clean comparison exits 0; a regression exits 3; and a baseline that
+// cannot gate anything — unreadable, malformed JSON, an empty {}, or a
+// schema-drifted document with no usable entries — also exits 3 instead
+// of letting the gate pass vacuously.
+func TestRunCheckExitCodes(t *testing.T) {
+	fresh := Doc{
+		Context:    map[string]string{"cpu": "test-cpu"},
+		Benchmarks: []Result{{Name: "BenchmarkA", NsPerOp: 100}},
+	}
+	good := writeBaseline(t, "good.json", `{"benchmarks":[{"name":"BenchmarkA","ns_per_op":95}]}`)
+	slow := writeBaseline(t, "slow.json", `{"benchmarks":[{"name":"BenchmarkA","ns_per_op":50}]}`)
+	malformed := writeBaseline(t, "malformed.json", `{"benchmarks": [`)
+	empty := writeBaseline(t, "empty.json", `{}`)
+	drifted := writeBaseline(t, "drifted.json", `{"benchmarks":[{"nm":"BenchmarkA","nsop":95}]}`)
+
+	cases := []struct {
+		name  string
+		paths []string
+		want  int
+	}{
+		{"clean", []string{good}, 0},
+		{"regression", []string{slow}, 3},
+		{"malformed JSON", []string{malformed}, 3},
+		{"empty document", []string{empty}, 3},
+		{"schema drift", []string{drifted}, 3},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.json")}, 3},
+		{"bad baseline fails alongside a clean one", []string{good, malformed}, 3},
+		{"blank paths are skipped", []string{"", " "}, 0},
+	}
+	for _, c := range cases {
+		var buf strings.Builder
+		if got := runCheck(fresh, c.paths, 0.15, &buf); got != c.want {
+			t.Errorf("%s: runCheck = %d, want %d\nstderr:\n%s", c.name, got, c.want, buf.String())
 		}
 	}
 }

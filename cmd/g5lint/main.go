@@ -1,0 +1,61 @@
+// Command g5lint runs this repository's determinism and simulator-contract
+// analyzers (internal/lint) over Go packages.
+//
+// It speaks the `go vet -vettool` unitchecker protocol, so CI runs it as
+//
+//	go build -o g5lint ./cmd/g5lint
+//	go vet -vettool=$PWD/g5lint ./...
+//
+// and it also works standalone — `go run ./cmd/g5lint ./...` — by
+// re-executing itself through go vet, which supplies parsed compilation
+// units (and their export data) per package.
+//
+// Analyzers: detmap, nowallclock, pastsched, atomicring, statreg,
+// sinkdiscipline; see internal/lint for what each enforces and for the
+// //lint:deterministic / //lint:allow escape hatches.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"gem5prof/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, arg := range args {
+		if arg == "-V=full" || arg == "--V=full" || arg == "-flags" || arg == "--flags" ||
+			strings.HasSuffix(arg, ".cfg") {
+			lint.Main(lint.All()) // exits
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone re-invokes the suite through `go vet -vettool=<self>` so the
+// go command does the package loading and export-data plumbing.
+func standalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "g5lint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "g5lint:", err)
+		return 1
+	}
+	return 0
+}

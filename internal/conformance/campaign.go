@@ -199,6 +199,7 @@ func RunCampaign(cfg CampaignConfig) *CampaignResult {
 	covered := make(map[isa.Op]bool)
 	repros := 0
 	for _, rep := range reports {
+		//lint:deterministic pure set union; Uncovered is sorted before reporting
 		for op := range rep.Ops {
 			covered[op] = true
 		}

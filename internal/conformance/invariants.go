@@ -3,6 +3,7 @@ package conformance
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"gem5prof/internal/sim"
@@ -55,7 +56,17 @@ func CheckStats(reg *sim.Registry, drained bool) []string {
 		groups[prefix][leaf] = v
 	}
 
-	for prefix, g := range groups {
+	// Walk groups in sorted prefix order so the violation list — which
+	// campaign reports and test failures print verbatim — is identical
+	// across same-seed runs.
+	prefixes := make([]string, 0, len(groups))
+	//lint:deterministic keys are sorted before use
+	for prefix := range groups {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		g := groups[prefix]
 		switch {
 		case has(g, "accesses", "mshrHits"):
 			// Cache: every demand access entering the cache resolves as

@@ -477,6 +477,7 @@ type ArchState struct {
 // an instruction boundary (a quiesced core).
 func (c *Core) SaveArchState() ArchState {
 	s := ArchState{Regs: c.regs, FRegs: c.fregs, PC: c.pc, CSRs: map[uint32]uint32{}}
+	//lint:deterministic map-to-map copy commutes; JSON encoding sorts the keys
 	for k, v := range c.csrs {
 		s.CSRs[k] = v
 	}
@@ -490,6 +491,7 @@ func (c *Core) LoadArchState(s ArchState) {
 	c.fregs = s.FRegs
 	c.pc = s.PC
 	c.csrs = make(map[uint32]uint32, len(s.CSRs))
+	//lint:deterministic map-to-map copy commutes
 	for k, v := range s.CSRs {
 		c.csrs[k] = v
 	}

@@ -103,6 +103,7 @@ func IDs() []string {
 	mu.Lock()
 	defer mu.Unlock()
 	out := make([]string, 0, len(registry))
+	//lint:deterministic keys are sorted before use
 	for id := range registry {
 		out = append(out, id)
 	}

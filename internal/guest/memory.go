@@ -158,6 +158,7 @@ func (m *Memory) TouchedPages() int { return len(m.pages) }
 // The conformance lockstep runner diffs final memory images with it.
 func (m *Memory) Checksum() uint64 {
 	idxs := make([]uint32, 0, len(m.pages))
+	//lint:deterministic keys are sorted before use
 	for idx := range m.pages {
 		idxs = append(idxs, idx)
 	}

@@ -18,6 +18,7 @@ type MemoryImage struct {
 // Snapshot captures all touched pages.
 func (m *Memory) Snapshot() MemoryImage {
 	img := MemoryImage{Size: m.size, Pages: make(map[string]string, len(m.pages))}
+	//lint:deterministic map-to-map copy commutes; JSON encoding sorts the keys
 	for idx, page := range m.pages {
 		img.Pages[fmt.Sprintf("%d", idx)] = base64.StdEncoding.EncodeToString(page[:])
 	}
@@ -30,6 +31,7 @@ func RestoreMemory(img MemoryImage) (*Memory, error) {
 		return nil, fmt.Errorf("guest: snapshot has zero size")
 	}
 	m := NewMemory(img.Size)
+	//lint:deterministic disjoint per-page writes commute
 	for key, data := range img.Pages {
 		var idx uint32
 		if _, err := fmt.Sscanf(key, "%d", &idx); err != nil {
@@ -74,13 +76,16 @@ func (m *Memory) Equal(o *Memory) bool {
 		return false
 	}
 	keys := map[uint32]bool{}
+	//lint:deterministic pure set union
 	for k := range m.pages {
 		keys[k] = true
 	}
+	//lint:deterministic pure set union
 	for k := range o.pages {
 		keys[k] = true
 	}
 	idxs := make([]uint32, 0, len(keys))
+	//lint:deterministic keys are sorted before use
 	for k := range keys {
 		idxs = append(idxs, k)
 	}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detmap flags iteration whose order is Go's randomized map order inside
+// any package of the determinism-checked set (everything under gem5prof/
+// except the linter): `range` over a map, and maps.Keys/maps.Values calls
+// whose result is not immediately sorted. Every report, trace, checkpoint
+// and encoding path in this repository promises byte-identical output for
+// a given seed, and map iteration order is the one language feature that
+// silently breaks that promise. Loops that provably commute (pure set
+// union, building another map, collect-then-sort) are waived with
+// //lint:deterministic <reason>.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc: "flag map-order-dependent iteration (range over a map, unsorted maps.Keys) " +
+		"in determinism-critical packages; waive provably commuting loops with //lint:deterministic",
+	Run: runDetmap,
+}
+
+func runDetmap(pass *Pass) error {
+	if !pkgScope(pass) {
+		return nil
+	}
+
+	// First pass: collect maps.Keys/Values calls that are immediately
+	// sorted (slices.Sorted*(maps.Keys(m))): those are deterministic.
+	sorted := make(map[*ast.CallExpr]bool)
+	inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pass.TypesInfo, call, "slices", "Sorted") ||
+			isPkgFunc(pass.TypesInfo, call, "slices", "SortedFunc") ||
+			isPkgFunc(pass.TypesInfo, call, "slices", "SortedStableFunc") {
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					sorted[inner] = true
+				}
+			}
+		}
+		return true
+	})
+
+	inspect(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if typeIsMap(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.Range,
+					"range over a map: iteration order leaks into behavior; sort the keys first, or annotate //lint:deterministic <reason> if the loop commutes")
+			}
+		case *ast.CallExpr:
+			for _, fn := range []string{"Keys", "Values"} {
+				if isPkgFunc(pass.TypesInfo, n, "maps", fn) && !sorted[n] {
+					pass.Reportf(n.Pos(),
+						"maps.%s without an immediate sort yields map-ordered results; wrap in slices.Sorted or sort before use", fn)
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestDetmap(t *testing.T) {
+	// othermod is outside the module path: detmap must stay silent there.
+	linttest.Run(t, lint.Detmap, "gem5prof/detmapfix", "othermod")
+}

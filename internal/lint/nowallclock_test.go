@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestNoWallClock(t *testing.T) {
+	// othermod is outside the simulator core: nowallclock must stay
+	// silent there even though it calls time.Now.
+	linttest.Run(t, lint.NoWallClock, "gem5prof/internal/nwc", "othermod")
+}

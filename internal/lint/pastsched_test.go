@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestPastSched(t *testing.T) {
+	linttest.Run(t, lint.PastSched, "gem5prof/internal/ps")
+}

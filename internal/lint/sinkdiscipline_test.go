@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestSinkDiscipline(t *testing.T) {
+	// ring (clean declaring package) and hm (clean consumer) double as
+	// negative fixtures; ringbad and hmbad hold the violations.
+	linttest.Run(t, lint.SinkDiscipline,
+		"gem5prof/internal/ring",
+		"gem5prof/internal/ringbad",
+		"gem5prof/internal/hm",
+		"gem5prof/internal/hmbad",
+	)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestStatReg(t *testing.T) {
+	linttest.Run(t, lint.StatReg, "gem5prof/internal/sr")
+}

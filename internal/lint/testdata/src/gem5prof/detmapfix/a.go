@@ -1,0 +1,55 @@
+// Fixtures for the detmap analyzer: map-order-dependent iteration inside
+// the determinism-checked import path.
+package detmapfix
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// Bad folds over a map in iteration order.
+func Bad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over a map`
+		total += v
+	}
+	return total
+}
+
+// BadKeys walks maps.Keys without sorting.
+func BadKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `maps\.Keys without an immediate sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodSorted sorts the keys in the same expression.
+func GoodSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// GoodAnnotated waives a collect-then-sort loop.
+func GoodAnnotated(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:deterministic keys are sorted before use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MissingReason carries a bare annotation: the annotation itself is
+// reported and it suppresses nothing.
+func MissingReason(m map[string]int) int {
+	n := 0
+	// want+1 "lint annotation without a reason"
+	//lint:deterministic
+	for range m { // want `range over a map`
+		n++
+	}
+	return n
+}

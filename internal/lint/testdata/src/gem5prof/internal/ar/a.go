@@ -1,0 +1,59 @@
+// Fixtures for the atomicring analyzer: torn mixed access and false
+// sharing between hot atomic counters.
+package ar
+
+import "sync/atomic"
+
+// unpadded puts producer and consumer indices on one cache line.
+type unpadded struct {
+	head atomic.Uint64
+	tail atomic.Uint64 // want `share a cache line`
+}
+
+// padded separates them with a cache line of padding.
+type padded struct {
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+}
+
+// coldBool is exempt: parked flags are edge-path-only.
+type coldBool struct {
+	head   atomic.Uint64
+	parked atomic.Bool
+	done   atomic.Bool
+}
+
+// counter mixes atomic and plain access to n.
+type counter struct {
+	n    uint64
+	name string
+}
+
+// NewCounter may touch n plainly: the value is not yet shared.
+func NewCounter(name string) *counter {
+	c := &counter{name: name}
+	c.n = 0
+	return c
+}
+
+// Inc is the atomic writer.
+func (c *counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// Read tears.
+func (c *counter) Read() uint64 {
+	return c.n // want `plain access can tear`
+}
+
+// Peek waives the plain read with an annotation.
+func (c *counter) Peek() uint64 {
+	//lint:allow atomicring single-threaded snapshot taken after the join
+	return c.n
+}
+
+// Name never conflicts: name is not atomically accessed.
+func (c *counter) Name() string {
+	return c.name
+}

@@ -1,0 +1,49 @@
+// Clean fixture for the sinkdiscipline analyzer: a Sink interface, an
+// encoder, and decoders fully in lockstep with gem5prof/internal/ring.
+package hm
+
+import "gem5prof/internal/ring"
+
+// Sink mirrors ring.Op one method per constant.
+type Sink interface {
+	FetchBlock(addr uint64, size uint16, uops uint32)
+	Branch(pc, target uint64, taken bool)
+	Data(addr uint64, write bool)
+}
+
+type enc struct{ out []ring.Record }
+
+func (e *enc) FetchBlock(addr uint64, size uint16, uops uint32) {
+	e.out = append(e.out, ring.Record{Op: ring.OpFetch, Addr: addr, Size: size, Uops: uops})
+}
+
+func (e *enc) Branch(pc, target uint64, taken bool) {
+	e.out = append(e.out, ring.Record{Op: ring.OpBranch, Addr: pc, Aux: target})
+}
+
+func (e *enc) Data(addr uint64, write bool) {
+	e.out = append(e.out, ring.Record{Op: ring.OpData, Addr: addr})
+}
+
+// Apply covers every Op explicitly.
+func Apply(rec ring.Record) int {
+	switch rec.Op {
+	case ring.OpFetch:
+		return 1
+	case ring.OpBranch:
+		return 2
+	case ring.OpData:
+		return 3
+	}
+	return 0
+}
+
+// Kind covers the rest with a default.
+func Kind(op ring.Op) string {
+	switch op {
+	case ring.OpFetch:
+		return "fetch"
+	default:
+		return "other"
+	}
+}

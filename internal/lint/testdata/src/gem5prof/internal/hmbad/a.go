@@ -1,0 +1,31 @@
+// Broken fixture for the sinkdiscipline analyzer: the Sink interface,
+// the encoder, and a decoder have all drifted from ring.Op.
+package hmbad
+
+import "gem5prof/internal/ring"
+
+// Sink is missing a Data method and grew one with no Op behind it.
+type Sink interface { // want `OpData have no corresponding Sink method`
+	FetchBlock(addr uint64)
+	Branch(pc uint64)
+	Flush() // want `no corresponding ring\.Op constant`
+}
+
+type enc struct{ out []ring.Record }
+
+// FetchBlock is the only encoder: OpBranch and OpData records can never
+// be produced here.
+func (e *enc) FetchBlock(addr uint64) {
+	e.out = append(e.out, ring.Record{Op: ring.OpFetch, Addr: addr}) // want `never emits OpBranch, OpData`
+}
+
+// Apply drops OpData records silently.
+func Apply(rec ring.Record) int {
+	switch rec.Op { // want `no case for OpData`
+	case ring.OpFetch:
+		return 1
+	case ring.OpBranch:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+// Fixtures for the nowallclock analyzer: host entropy inside the
+// simulator core.
+package nwc
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad reaches for every kind of host entropy.
+func Bad() int64 {
+	t := time.Now()                // want `time\.Now injects wall-clock time`
+	_ = os.Getenv("HOME")          // want `os\.Getenv injects process environment`
+	return t.Unix() + rand.Int63() // want `global math/rand\.Int63 draws from host-seeded shared state`
+}
+
+// Good derives all variation from an explicit seed.
+func Good(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// Allowed waives a wall-clock read with an annotation.
+func Allowed() time.Time {
+	//lint:allow nowallclock progress logging only, never simulated state
+	return time.Now()
+}
+
+// Durations are data, not clock reads.
+func Good2(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,26 @@
+// Package ring is a linttest stub of the trace-record ring: the Op and
+// Record declarations the sinkdiscipline fixtures encode, decode, and
+// check against. Record is exactly 32 bytes under gc/amd64 and
+// pointer-free, like the real one.
+package ring
+
+// Op tags what a Record describes.
+type Op uint8
+
+// The record kinds.
+const (
+	OpFetch Op = iota
+	OpBranch
+	OpData
+)
+
+// Record is one trace record: 1+1+2+4+8+8+8 = 32 bytes.
+type Record struct {
+	Op    Op
+	Flags uint8
+	Size  uint16
+	Uops  uint32
+	Addr  uint64
+	Aux   uint64
+	Tick  uint64
+}

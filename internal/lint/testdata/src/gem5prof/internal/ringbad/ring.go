@@ -1,0 +1,20 @@
+// A broken trace-record package (directory ringbad, package name ring so
+// sinkdiscipline recognizes it): Record is undersized and carries a
+// pointer.
+package ring
+
+// Op tags what a Record describes.
+type Op uint8
+
+// The record kinds.
+const (
+	OpFetch Op = iota
+	OpBranch
+	OpData
+)
+
+// Record is 24 bytes and holds a string header.
+type Record struct { // want `is 24 bytes under gc/amd64, not 32` `field Name contains pointers`
+	Op   Op
+	Name string
+}

@@ -1,0 +1,51 @@
+// Fixtures for the statreg analyzer: the stats-registration discipline
+// around sim.Registry.
+package sr
+
+import "gem5prof/internal/sim"
+
+type model struct {
+	insts *sim.Counter
+	ipc   *sim.Scalar
+}
+
+// New registers stats during construction and drives them later: clean.
+func New(r *sim.Registry) *model {
+	m := &model{}
+	m.insts = r.Counter("insts", "retired instructions")
+	m.ipc = r.Scalar("ipc", "instructions per cycle")
+	r.Formula("frac", "retired fraction", func() float64 { return 0 })
+	return m
+}
+
+func (m *model) retire(n uint64) {
+	m.insts.Inc(n)
+	m.ipc.Set(float64(n))
+}
+
+// tick registers mid-simulation and drops the result.
+func (m *model) tick(r *sim.Registry) {
+	r.Counter("late", "registered mid-run") // want `outside a constructor` `is discarded`
+}
+
+// newDup registers two stats under one name.
+func newDup(r *sim.Registry) (*sim.Counter, *sim.Counter) {
+	a := r.Counter("hits", "cache hits")
+	b := r.Counter("hits", "cache hits again") // want `duplicate stat name`
+	return a, b
+}
+
+// newDiscard throws registrations away.
+func newDiscard(r *sim.Registry) {
+	r.Histogram("lat", "latency")   // want `is discarded`
+	_ = r.Scalar("drop", "dropped") // want `assigned to _`
+}
+
+type dead struct{ s *sim.Scalar }
+
+// newDead assigns a stat to a field nothing ever drives.
+func newDead(r *sim.Registry) *dead {
+	d := &dead{}
+	d.s = r.Scalar("dead", "never driven") // want `never referenced again`
+	return d
+}

@@ -1,0 +1,14 @@
+// A package outside the gem5prof module path: detmap and nowallclock
+// must both stay silent here regardless of content.
+package othermod
+
+import "time"
+
+// Sum ranges over a map and reads the wall clock; neither is in scope.
+func Sum(m map[string]int) int64 {
+	n := int64(0)
+	for _, v := range m {
+		n += int64(v)
+	}
+	return n + time.Now().Unix()
+}

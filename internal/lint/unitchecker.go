@@ -1,0 +1,274 @@
+package lint
+
+// This file implements the command-line protocol `go vet -vettool=...`
+// expects of an analysis tool, against the standard library only. It is a
+// minimal reimplementation of the x/tools unitchecker contract (which is
+// not importable here):
+//
+//	g5lint -V=full      print a content-addressed version (build caching)
+//	g5lint -flags       describe flags as JSON (flag/package-pattern split)
+//	g5lint unit.cfg     analyze one compilation unit described by JSON
+//
+// The config file supplies the unit's Go files plus a map from package
+// path to compiled export data for every dependency, so type-checking one
+// unit never re-parses its imports.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+)
+
+// Config mirrors the JSON compilation-unit description the go command
+// writes for a vettool. Fields this driver does not consume are listed for
+// decode compatibility.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool protocol over the given analyzers and
+// exits. os.Args must hold exactly one of -V=full, -flags, or a *.cfg
+// path (plus optional analyzer enable flags, which are accepted and
+// ignored: the suite always runs whole).
+func Main(analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("g5lint: ")
+
+	var cfgFile string
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			printFlags(analyzers)
+			os.Exit(0)
+		case len(arg) > 4 && arg[len(arg)-4:] == ".cfg":
+			cfgFile = arg
+		}
+	}
+	if cfgFile == "" {
+		log.Fatalf("usage: g5lint [packages]  (standalone)  |  go vet -vettool=g5lint [packages]")
+	}
+
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dependency units are analyzed only for facts, and this suite
+	// exports none: emit the (empty) facts file without parsing anything.
+	if cfg.VetxOnly {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+		os.Exit(0)
+	}
+	diags, err := runUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	// The go command caches the (empty) facts file as this unit's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	os.Exit(1)
+}
+
+// printVersion emits the -V=full line the go command uses as a cache key:
+// it must change whenever the tool binary changes, so it hashes the
+// executable itself.
+func printVersion() {
+	progname, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// printFlags describes the tool's flags as JSON; the go command queries
+// this to split its own command line into flags and package patterns.
+func printFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable " + a.Name + " analysis (always on)"})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// runUnit parses and type-checks one compilation unit and runs every
+// analyzer over it, returning rendered diagnostics sorted by position.
+func runUnit(cfg *Config, analyzers []*Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies type-check from the export data the go command already
+	// compiled, via the import map (which resolves vendoring).
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersionFor(cfg.GoVersion),
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(fset, files, pkg, info, analyzers), nil
+}
+
+// goVersionFor sanitizes the config's language version for types.Config
+// (which rejects malformed strings rather than ignoring them).
+func goVersionFor(v string) string {
+	if regexp.MustCompile(`^go[0-9]+(\.[0-9]+)*$`).MatchString(v) {
+		return v
+	}
+	return ""
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// runAnalyzers executes every analyzer over one type-checked package and
+// renders the findings as "file:line:col: message [g5lint/name]" lines.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []string {
+	type posDiag struct {
+		pos token.Position
+		msg string
+	}
+	var all []posDiag
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Sizes:     types.SizesFor("gc", "amd64"),
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			all = append(all, posDiag{fset.Position(d.Pos), d.Message + " [g5lint/" + name + "]"})
+		}
+		if err := a.Run(pass); err != nil {
+			all = append(all, posDiag{token.Position{}, fmt.Sprintf("analyzer %s: %v", a.Name, err)})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].pos.Filename != all[j].pos.Filename {
+			return all[i].pos.Filename < all[j].pos.Filename
+		}
+		return all[i].pos.Offset < all[j].pos.Offset
+	})
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = fmt.Sprintf("%s: %s", d.pos, d.msg)
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -88,11 +88,25 @@ type Entry struct {
 	Frac   float64 // share of all attributed cycles
 }
 
+// sortedFns returns the profiled function IDs in ascending order. Every
+// aggregation below iterates in this order: float64 addition does not
+// commute, so summing in map order would make TotalCycles — and through
+// it every Frac — differ between same-seed runs.
+func (p *Profiler) sortedFns() []sim.FuncID {
+	fns := make([]sim.FuncID, 0, len(p.self))
+	//lint:deterministic keys are sorted before use
+	for fn := range p.self {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i] < fns[j] })
+	return fns
+}
+
 // TotalCycles returns the sum of attributed exclusive cycles.
 func (p *Profiler) TotalCycles() float64 {
 	var t float64
-	for _, c := range p.self {
-		t += c
+	for _, fn := range p.sortedFns() {
+		t += p.self[fn]
 	}
 	return t
 }
@@ -108,7 +122,8 @@ func (p *Profiler) Top(n int) []Entry {
 		total = 1
 	}
 	out := make([]Entry, 0, len(p.self))
-	for fn, cyc := range p.self {
+	for _, fn := range p.sortedFns() {
+		cyc := p.self[fn]
 		name := fmt.Sprintf("fn%d", fn)
 		if p.names != nil {
 			name = p.names.FuncName(fn)

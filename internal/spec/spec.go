@@ -74,6 +74,7 @@ var profiles = map[string]Profile{
 // Names returns the available benchmark names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(profiles))
+	//lint:deterministic keys are sorted before use
 	for n := range profiles {
 		out = append(out, n)
 	}
@@ -151,9 +152,12 @@ func (p Profile) Run(m *uarch.Machine, blocks int) uarch.Report {
 // reports keyed by name.
 func RunAll(cfg uarch.Config, blocks int) map[string]uarch.Report {
 	out := make(map[string]uarch.Report, len(profiles))
-	for name, p := range profiles {
+	// Run in sorted-name order: each Run drives a fresh machine, but any
+	// future cross-benchmark state (shared caches, pooled allocations)
+	// must not see map-ordered arrival.
+	for _, name := range Names() {
 		m := uarch.NewMachine(cfg)
-		out[name] = p.Run(m, blocks)
+		out[name] = profiles[name].Run(m, blocks)
 	}
 	return out
 }

@@ -48,6 +48,7 @@ func ByName(name string) (Spec, bool) {
 // Names returns all workload names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//lint:deterministic keys are sorted before use
 	for n := range registry {
 		out = append(out, n)
 	}
