@@ -231,6 +231,60 @@ func BenchmarkAblationEventQueue(b *testing.B) {
 	}
 }
 
+// --- Sampled simulation benches (BENCH_simpoint.json) ---
+
+// simpointFigs is the figure set that opts into SimPoint sampling under
+// the harness's -simpoint flag (fig11 needs a full Top-Down report, so it
+// never samples).
+var simpointFigs = []string{"fig10", "fig12", "fig13"}
+
+// benchSimpointSuite times the sampled figure set end to end at -j1 from
+// cold caches: BBV profiling, clustering, Atomic fast-forward
+// checkpointing, and the per-cell representative-interval measurements.
+func benchSimpointSuite(b *testing.B, opt gem5prof.ExperimentOptions) {
+	b.Helper()
+	opt.Quick = true
+	opt.Jobs = 1
+	for i := 0; i < b.N; i++ {
+		gem5prof.ResetExperimentCaches()
+		for oc := range gem5prof.RunExperiments(simpointFigs, opt) {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+	}
+	gem5prof.ResetExperimentCaches()
+}
+
+// BenchmarkSimpointFullSuite / BenchmarkSimpointSampledSuite are the
+// sampled-simulation PR's before/after pair: the same quick sweep figures
+// fully simulated versus SimPoint-sampled (target >=10x; the measured
+// per-cell error next to the speedup lives in BENCH_simpoint.json and is
+// held by TestSampledFiguresError in internal/experiments).
+func BenchmarkSimpointFullSuite(b *testing.B) {
+	benchSimpointSuite(b, gem5prof.ExperimentOptions{})
+}
+
+func BenchmarkSimpointSampledSuite(b *testing.B) {
+	benchSimpointSuite(b, gem5prof.ExperimentOptions{SimPoint: true})
+}
+
+// BenchmarkSimpointSampledWarmCache is the sampled suite with a persistent
+// checkpoint cache already populated (the cross-process fast path): the
+// Atomic fast-forward passes are replaced by verified cache restores.
+func BenchmarkSimpointSampledWarmCache(b *testing.B) {
+	opt := gem5prof.ExperimentOptions{Quick: true, Jobs: 1, SimPoint: true, CkptCacheDir: b.TempDir()}
+	// Populate the cache once, outside the timed loop.
+	gem5prof.ResetExperimentCaches()
+	for oc := range gem5prof.RunExperiments(simpointFigs, opt) {
+		if oc.Err != nil {
+			b.Fatal(oc.Err)
+		}
+	}
+	b.ResetTimer()
+	benchSimpointSuite(b, opt)
+}
+
 // --- Parallel harness benches ---
 
 // BenchmarkSessionRunParallel drives independent co-simulation sessions from

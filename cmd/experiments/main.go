@@ -3,7 +3,19 @@
 // Usage:
 //
 //	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-pipeline auto|on|off]
+//	            [-simpoint] [-simpoint-interval N] [-ckpt-cache-dir DIR]
 //	            [-o out.txt] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -simpoint switches the sweep-shaped figures (10, 12, 13) to SimPoint-style
+// sampled simulation (see DESIGN.md §12): profile once on the Atomic model,
+// cluster the basic-block vectors into phases, then simulate only one
+// representative interval per phase on the detailed model and extrapolate by
+// cluster weight. Sampled figures carry a note documenting the mode and its
+// error bound; figures that need full microarchitectural detail (fig11's
+// Top-Down breakdown) always run full. -ckpt-cache-dir persists the
+// fast-forward checkpoints across processes in a content-addressed,
+// self-verifying cache (internal/ckptcache); corrupt or version-skewed
+// entries are evicted and re-simulated, never restored.
 //
 // -cpuprofile and -memprofile write pprof profiles of the harness itself
 // (the tool the paper applies to gem5, applied to our reproduction of it),
@@ -58,6 +70,9 @@ func run() int {
 	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
 	pipeline := flag.String("pipeline", "auto", "in-session producer/consumer pipeline: auto, on, or off (output is identical in every mode)")
+	simPoint := flag.Bool("simpoint", false, "sample the sweep figures (10, 12, 13) via SimPoint-style phase-representative intervals")
+	simPointInterval := flag.Uint64("simpoint-interval", 0, "override the SimPoint profiling interval in committed instructions (0 = harness default)")
+	ckptCacheDir := flag.String("ckpt-cache-dir", "", "persist fast-forward checkpoints in this directory (content-addressed, self-verifying)")
 	outPath := flag.String("o", "", "also write the report to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the harness to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -123,7 +138,12 @@ func run() int {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	opt := experiments.Options{Quick: *quick, Jobs: *jobs}
+	opt := experiments.Options{
+		Quick: *quick, Jobs: *jobs,
+		SimPoint:         *simPoint,
+		SimPointInterval: *simPointInterval,
+		CkptCacheDir:     *ckptCacheDir,
+	}
 	start := time.Now()
 	failed := 0
 	// Outcomes arrive in ids order (not completion order), so the report

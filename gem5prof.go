@@ -12,12 +12,14 @@
 package gem5prof
 
 import (
+	"gem5prof/internal/ckptcache"
 	"gem5prof/internal/core"
 	"gem5prof/internal/experiments"
 	"gem5prof/internal/hostmodel"
 	"gem5prof/internal/platform"
 	"gem5prof/internal/profiler"
 	"gem5prof/internal/sim"
+	"gem5prof/internal/simpoint"
 	"gem5prof/internal/spec"
 	"gem5prof/internal/uarch"
 	"gem5prof/internal/workloads"
@@ -148,6 +150,30 @@ var (
 // RunSession runs one co-simulation: the guest simulator executing on a
 // modeled host platform.
 func RunSession(cfg SessionConfig) (*SessionResult, error) { return core.RunSession(cfg) }
+
+// SimPoint-style sampled simulation (profile on the Atomic model, simulate
+// only one representative interval per program phase on the target model,
+// extrapolate by cluster weight; see DESIGN.md §12).
+type (
+	// SampledConfig parameterizes sampling (interval length, warmup,
+	// phase bound, checkpoint cache).
+	SampledConfig = simpoint.Config
+	// SampledResult is the extrapolated stand-in for a full session's
+	// modeled seconds, with per-phase measurements attached.
+	SampledResult = simpoint.Result
+	// CheckpointCache is the content-addressed, self-verifying on-disk
+	// store for fast-forward checkpoints (internal/ckptcache). A nil
+	// *CheckpointCache is valid and means in-process memoization only.
+	CheckpointCache = ckptcache.Cache
+)
+
+var (
+	// RunSampled runs one co-simulation in sampled mode.
+	RunSampled = simpoint.RunSampled
+	// OpenCheckpointCache opens (creating if needed) a checkpoint cache
+	// directory.
+	OpenCheckpointCache = ckptcache.Open
+)
 
 // Host platforms (paper Table II and Table I).
 var (

@@ -30,14 +30,37 @@ type Checkpoint struct {
 	Mem guest.MemoryImage `json:"mem"`
 }
 
-// checkpointVersion is the current serialization format.
-const checkpointVersion = 1
+// CheckpointVersion is the current serialization format. Decoding fails
+// closed on any other version: forward compatibility is explicitly not
+// attempted, because restoring under a mismatched format could silently
+// zero-fill state the writer meant to carry.
+const CheckpointVersion = 1
 
 // RunFor services events until the guest clock advances by delta ticks (or
 // the workload exits). It returns the raw run result so callers can
 // distinguish completion from the time limit.
+//
+// A delta that would overflow the tick counter — including a negative
+// duration cast to the unsigned Tick — is clamped to MaxTick, so a huge
+// fast-forward request runs the workload out instead of computing a
+// wrapped deadline in the past (which the queue's time-runs-backward
+// panic would only catch after the fact).
 func (g *GuestSystem) RunFor(delta sim.Tick) sim.RunResult {
-	return g.Sys.Run(g.Sys.Now()+delta, 0)
+	now := g.Sys.Now()
+	end := now + delta
+	if end < now {
+		end = sim.MaxTick
+	}
+	return g.Sys.Run(end, 0)
+}
+
+// RunTo services events until the guest clock reaches absolute tick when,
+// inclusive: every event scheduled at or before when fires, so a
+// checkpoint taken afterwards captures exactly the state a straight run
+// has as it leaves that tick. A target at or before Now returns
+// immediately with ExitLimit and is not an error.
+func (g *GuestSystem) RunTo(when sim.Tick) sim.RunResult {
+	return g.Sys.Run(when, 0)
 }
 
 // TakeCheckpoint serializes the guest. The guest must be quiesced at an
@@ -54,7 +77,7 @@ func (g *GuestSystem) TakeCheckpoint() (*Checkpoint, error) {
 		}
 	}
 	ck := &Checkpoint{
-		Version:  checkpointVersion,
+		Version:  CheckpointVersion,
 		Tick:     g.Sys.Now(),
 		Workload: g.Cfg.Workload,
 		Mode:     g.Cfg.Mode,
@@ -73,19 +96,44 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 	return json.MarshalIndent(c, "", " ")
 }
 
-// DecodeCheckpoint parses an encoded checkpoint.
+// DecodeCheckpoint parses an encoded checkpoint. It fails closed: a
+// truncated document, a mismatched or future format version, or a memory
+// image whose page payloads disagree with their declared sizes all return
+// a clear error — never a panic, and never a checkpoint that would
+// restore zeroed or partial state.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return nil, fmt.Errorf("core: bad checkpoint: %w", err)
 	}
-	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("core: checkpoint version %d unsupported", ck.Version)
-	}
-	if len(ck.Arch) == 0 {
-		return nil, fmt.Errorf("core: checkpoint has no CPU state")
+	if err := ck.Validate(); err != nil {
+		return nil, err
 	}
 	return &ck, nil
+}
+
+// Validate checks everything RestoreGuest needs to rebuild the guest
+// faithfully. DecodeCheckpoint applies it to every parsed document, so
+// corruption surfaces at the decode boundary, before any state is built.
+func (c *Checkpoint) Validate() error {
+	if c.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d unsupported (want %d)", c.Version, CheckpointVersion)
+	}
+	if len(c.Arch) == 0 {
+		return fmt.Errorf("core: checkpoint has no CPU state")
+	}
+	// Fail closed on implausible documents too: no supported guest exceeds
+	// this, and an absurd count usually means corrupted or hostile input.
+	if len(c.Arch) > 64 {
+		return fmt.Errorf("core: checkpoint claims %d cores (limit 64)", len(c.Arch))
+	}
+	if c.Mem.Size == 0 {
+		return fmt.Errorf("core: checkpoint has no memory image")
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("core: checkpoint memory image: %w", err)
+	}
+	return nil
 }
 
 // RestoreGuest builds a guest from cfg and resumes it from the checkpoint.

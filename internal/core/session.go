@@ -13,6 +13,7 @@ import (
 	"gem5prof/internal/platform"
 	"gem5prof/internal/profiler"
 	"gem5prof/internal/ring"
+	"gem5prof/internal/sim"
 	"gem5prof/internal/uarch"
 )
 
@@ -159,32 +160,65 @@ func DeriveSeed(experiment string, cell int) int64 {
 	return s
 }
 
-// RunSession builds and runs one co-simulation.
-//
-// RunSession is safe for concurrent use: every call constructs its own guest
-// system, host machine, and code model, and the package-level state it reads
-// (workload registry, platform tables, SPEC profiles) is immutable after
-// init. The parallel experiment runner relies on this. In pipelined mode
-// each session adds exactly one consumer goroutine for the duration of its
-// run, so a harness admitting Jobs concurrent sessions runs at most 2*Jobs
-// simulation goroutines.
-func RunSession(cfg SessionConfig) (*SessionResult, error) {
-	host := platform.Contend(cfg.Host, cfg.Scenario)
-	machine := uarch.NewMachine(host)
+// cosim bundles the host side of one co-simulation — the modeled machine,
+// the synthetic simulator binary, and (when pipelined) the ring stages —
+// together with the guest it traces. RunSession and RunIntervalSession
+// share this assembly; only how (and how much of) the guest runs differs.
+type cosim struct {
+	cfg       SessionConfig
+	machine   *uarch.Machine
+	cm        *hostmodel.CodeModel
+	prof      *profiler.Profiler
+	enc       *hostmodel.RingSink
+	cons      *uarch.Consumer
+	guest     *GuestSystem
+	pipelined bool
+}
+
+// newCosim builds the host machine and code model, constructs the guest via
+// build (BuildGuest for fresh runs, RestoreGuest for checkpoint resumes),
+// and hands the finished address map to the machine's TLBs.
+func newCosim(cfg SessionConfig, pipelined bool, build func(tr sim.Tracer) (*GuestSystem, error)) (*cosim, error) {
+	return newCosimOn(nil, cfg, pipelined, build)
+}
+
+// newCosimOn is newCosim with an optional previous cosim whose host side —
+// the modeled machine and the code model — is reused. IntervalRunner uses
+// this so successive interval measurements of one cell keep the machine's
+// caches, TLBs and predictors warm (the way one long full run would) and
+// skip re-laying-out the synthetic simulator binary. The reused guest
+// build re-registers its component functions, which the code model dedups
+// back to the first build's layout, so the address map already handed to
+// the machine's TLBs stays correct; re-adding the same regions would push
+// lookups onto the slow overlapping-region path, hence the fresh guard.
+// Reuse implies the serial path (prev != nil requires pipelined false).
+func newCosimOn(prev *cosim, cfg SessionConfig, pipelined bool, build func(tr sim.Tracer) (*GuestSystem, error)) (*cosim, error) {
+	if prev != nil {
+		cs := &cosim{cfg: cfg, machine: prev.machine, cm: prev.cm}
+		// Rewind the replay state so this build's allocations and access
+		// patterns land on the first build's addresses — the ones the
+		// machine's map covers and its warm caches hold.
+		cs.cm.ResetRun()
+		g, err := build(cs.cm)
+		if err != nil {
+			return nil, err
+		}
+		cs.guest = g
+		return cs, nil
+	}
+	machine := uarch.NewMachine(platform.Contend(cfg.Host, cfg.Scenario))
+	cs := &cosim{cfg: cfg, machine: machine, pipelined: pipelined}
 
 	// Pipelined mode interposes a batch encoder between the code model and
 	// the machine; the machine then consumes the identical event stream on
 	// its own goroutine (uarch.Consumer), started only after the address
 	// map below is final.
-	pipelined := cfg.Pipeline.enabled(cfg.Profile)
 	var sink hostmodel.Sink = machine
-	var enc *hostmodel.RingSink
-	var cons *uarch.Consumer
 	if pipelined {
 		rg := ring.New(ringSlots)
-		enc = hostmodel.NewRingSink(rg)
-		cons = uarch.NewConsumer(machine, rg)
-		sink = enc
+		cs.enc = hostmodel.NewRingSink(rg)
+		cs.cons = uarch.NewConsumer(machine, rg)
+		sink = cs.enc
 	}
 
 	hc := cfg.HostCode
@@ -195,55 +229,84 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 		}
 		hc = def
 	}
-	cm := hostmodel.New(hc, sink)
+	cs.cm = hostmodel.New(hc, sink)
 
-	var prof *profiler.Profiler
 	if cfg.Profile {
-		prof = profiler.New(machine, cm)
-		cm.SetProfiler(prof)
+		cs.prof = profiler.New(machine, cs.cm)
+		cs.cm.SetProfiler(cs.prof)
 	}
 
-	guest, err := BuildGuest(cfg.Guest, cm)
+	g, err := build(cs.cm)
 	if err != nil {
 		return nil, err
 	}
+	cs.guest = g
 
 	// The simulator binary is now fully laid out; hand the address map to
 	// the host machine so its TLBs know the page backing.
-	tb, te := cm.TextRange()
+	tb, te := cs.cm.TextRange()
 	machine.MapText(tb, te)
-	hb, he := cm.HeapRange()
+	hb, he := cs.cm.HeapRange()
 	machine.MapData(hb, he)
 	machine.MapData(hc.StackBase-(1<<20), hc.StackBase+(1<<12))
+	return cs, nil
+}
 
-	var gres *GuestResult
-	if pipelined {
-		cons.Start()
-		// Label the producer stage so -cpuprofile output splits guest
-		// simulation + trace synthesis from the consumer's uarch time.
-		pprof.Do(context.Background(),
-			pprof.Labels("cosim-stage", "guest-producer"),
-			func(context.Context) { gres, err = guest.Run() })
-		// Flush-on-report barrier: publish the partial tail batch, close
-		// the ring, and wait for the consumer to apply everything — on the
-		// error path too, so no goroutine outlives its session.
-		enc.Close()
-		cons.Wait()
-		if err == nil {
-			err = enc.Err()
-		}
-	} else {
-		gres, err = guest.Run()
+// run executes the guest through the session's pipeline arrangement.
+// runGuest is the producer body (normally cs.guest.Run).
+func (cs *cosim) run(runGuest func() (*GuestResult, error)) (*GuestResult, error) {
+	if !cs.pipelined {
+		return runGuest()
 	}
+	cs.cons.Start()
+	var gres *GuestResult
+	var err error
+	// Label the producer stage so -cpuprofile output splits guest
+	// simulation + trace synthesis from the consumer's uarch time.
+	pprof.Do(context.Background(),
+		pprof.Labels("cosim-stage", "guest-producer"),
+		func(context.Context) { gres, err = runGuest() })
+	// Flush-on-report barrier: publish the partial tail batch, close
+	// the ring, and wait for the consumer to apply everything — on the
+	// error path too, so no goroutine outlives its session.
+	cs.enc.Close()
+	cs.cons.Wait()
+	if err == nil {
+		err = cs.enc.Err()
+	}
+	return gres, err
+}
+
+// result assembles the SessionResult for a completed run.
+func (cs *cosim) result(gres *GuestResult) *SessionResult {
+	return &SessionResult{
+		Guest:       gres,
+		Host:        cs.machine.Report(),
+		Prof:        cs.prof,
+		TextBytes:   cs.cm.TextBytes(),
+		NumFuncs:    cs.cm.NumFuncs(),
+		CalledFuncs: cs.cm.CalledFuncs(),
+	}
+}
+
+// RunSession builds and runs one co-simulation.
+//
+// RunSession is safe for concurrent use: every call constructs its own guest
+// system, host machine, and code model, and the package-level state it reads
+// (workload registry, platform tables, SPEC profiles) is immutable after
+// init. The parallel experiment runner relies on this. In pipelined mode
+// each session adds exactly one consumer goroutine for the duration of its
+// run, so a harness admitting Jobs concurrent sessions runs at most 2*Jobs
+// simulation goroutines.
+func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	cs, err := newCosim(cfg, cfg.Pipeline.enabled(cfg.Profile),
+		func(tr sim.Tracer) (*GuestSystem, error) { return BuildGuest(cfg.Guest, tr) })
 	if err != nil {
 		return nil, err
 	}
-	return &SessionResult{
-		Guest:       gres,
-		Host:        machine.Report(),
-		Prof:        prof,
-		TextBytes:   cm.TextBytes(),
-		NumFuncs:    cm.NumFuncs(),
-		CalledFuncs: cm.CalledFuncs(),
-	}, nil
+	gres, err := cs.run(cs.guest.Run)
+	if err != nil {
+		return nil, err
+	}
+	return cs.result(gres), nil
 }

@@ -16,31 +16,35 @@ func init() {
 	register("fig13", runFig13)
 }
 
-// hugePageRun runs the PARSEC representative with a text-backing mode.
-func hugePageRun(opt Options, cpu core.CPUModel, hp uarch.HugePageMode, seed int64) (*core.SessionResult, error) {
+// hugePageSession is the PARSEC-representative cell with a text-backing
+// mode; figs 10 and 11 share it.
+func hugePageSession(opt Options, cpu core.CPUModel, hp uarch.HugePageMode, seed int64) core.SessionConfig {
 	host := platform.IntelXeon()
 	host.HugePages = hp
-	return core.RunSession(core.SessionConfig{
+	return core.SessionConfig{
 		Guest: core.GuestConfig{
 			CPU: cpu, Mode: core.SE,
 			Workload: "water_nsquared", Scale: parsecRepScale(opt),
 			Seed: seed,
 		},
 		Host: host,
-	})
+	}
+}
+
+// hugePageRun runs the cell as a full co-simulation (fig11 needs the
+// complete Top-Down report, which sampling does not reconstruct).
+func hugePageRun(opt Options, cpu core.CPUModel, hp uarch.HugePageMode, seed int64) (*core.SessionResult, error) {
+	return core.RunSession(hugePageSession(opt, cpu, hp, seed))
 }
 
 // hugePageGrid fans the CPU-model x page-mode grid out on the worker pool
-// and returns modeled seconds indexed [cpu][mode].
+// and returns modeled seconds indexed [cpu][mode]. Cells consume only
+// SimSeconds, so the grid samples under -simpoint.
 func hugePageGrid(opt Options, id string, modes []uarch.HugePageMode) ([][]float64, error) {
 	cpus := core.AllCPUModels
 	times, err := runAll(opt.runner, len(cpus)*len(modes), func(i int) (float64, error) {
 		cpu, hp := cpus[i/len(modes)], modes[i%len(modes)]
-		r, err := hugePageRun(opt, cpu, hp, core.DeriveSeed(id, i))
-		if err != nil {
-			return 0, err
-		}
-		return r.SimSeconds(), nil
+		return sessionSeconds(opt, hugePageSession(opt, cpu, hp, core.DeriveSeed(id, i)))
 	})
 	if err != nil {
 		return nil, err
@@ -82,6 +86,7 @@ func runFig10(opt Options) (*Result, error) {
 		fmt.Sprintf("best huge-page speedup %.1f%% (paper: up to 5.9%%; larger for detailed CPU models)", best),
 		"paper: no consistent winner between EHP and THP",
 	)
+	sampledNote(opt, res)
 	return res, nil
 }
 
@@ -140,11 +145,7 @@ func runFig12(opt Options) (*Result, error) {
 		if i%2 == 1 { // the -O3 (smaller binary) build
 			sc.HostCode = hostmodel.Config{SizeFactor: 0.97}
 		}
-		r, err := core.RunSession(sc)
-		if err != nil {
-			return 0, err
-		}
-		return r.SimSeconds(), nil
+		return sessionSeconds(opt, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -164,6 +165,7 @@ func runFig12(opt Options) (*Result, error) {
 	res.Notes = append(res.Notes,
 		"paper: average speedups 1.38% (Xeon), 0.98% (M1_Pro), 0.78% (M1_Ultra); a few configurations regress",
 	)
+	sampledNote(opt, res)
 	return res, nil
 }
 
@@ -183,11 +185,7 @@ func runFig13(opt Options) (*Result, error) {
 			Seed: core.DeriveSeed("fig13", i)}
 		host := platform.IntelXeon()
 		host.FreqGHz = freqs[i]
-		r, err := core.RunSession(core.SessionConfig{Guest: gc, Host: host})
-		if err != nil {
-			return 0, err
-		}
-		return r.SimSeconds(), nil
+		return sessionSeconds(opt, core.SessionConfig{Guest: gc, Host: host})
 	})
 	if err != nil {
 		return nil, err
@@ -208,5 +206,6 @@ func runFig13(opt Options) (*Result, error) {
 		fmt.Sprintf("1.2GHz runs %.2fx slower than 3.1GHz (paper: 2.67x; near-linear in frequency)",
 			times[0]/baseTime),
 	)
+	sampledNote(opt, res)
 	return res, nil
 }

@@ -6,6 +6,8 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+
+	"gem5prof/internal/simpoint"
 )
 
 // Runner executes the independent simulation runs of an experiment — and,
@@ -128,10 +130,12 @@ func RunMany(ids []string, opt Options) <-chan Outcome {
 }
 
 // ResetCaches drops the per-process measurement caches (the shared Fig. 2-6
-// Top-Down set). Benchmarks and determinism tests call it so that repeated
-// regenerations re-measure instead of replaying the cache.
+// Top-Down set and the simpoint analysis memo). Benchmarks and determinism
+// tests call it so that repeated regenerations re-measure instead of
+// replaying the cache.
 func ResetCaches() {
 	tdMu.Lock()
 	defer tdMu.Unlock()
 	tdCache = map[bool]*tdSet{}
+	simpoint.ResetMemo()
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // MemoryImage is the serializable form of a Memory: only touched pages are
@@ -25,27 +26,64 @@ func (m *Memory) Snapshot() MemoryImage {
 	return img
 }
 
+// decodePage validates one snapshot entry and returns its page index and
+// raw contents. Keys must be canonical decimal (a non-canonical spelling
+// like "07" or "7x" could alias another entry's page, making the restored
+// contents depend on map-iteration order), and payloads must decode to
+// exactly one page.
+func decodePage(key, data string, size uint32) (uint32, []byte, error) {
+	idx64, err := strconv.ParseUint(key, 10, 32)
+	if err != nil || strconv.FormatUint(idx64, 10) != key {
+		return 0, nil, fmt.Errorf("guest: bad page key %q", key)
+	}
+	idx := uint32(idx64)
+	if idx64*PageBytes >= uint64(size) {
+		return 0, nil, fmt.Errorf("guest: page %d outside memory", idx)
+	}
+	raw, err := base64.StdEncoding.DecodeString(data)
+	if err != nil {
+		return 0, nil, fmt.Errorf("guest: page %d: %w", idx, err)
+	}
+	if len(raw) != PageBytes {
+		return 0, nil, fmt.Errorf("guest: page %d has %d bytes, want %d", idx, len(raw), PageBytes)
+	}
+	return idx, raw, nil
+}
+
+// Validate checks the image's structural invariants without materializing
+// a Memory: a nonzero size, canonical page keys inside the declared size,
+// and page payloads of exactly one page each. RestoreMemory re-applies the
+// same checks; Validate lets checkpoint decoding fail closed before any
+// state is touched.
+func (img MemoryImage) Validate() error {
+	if img.Size == 0 {
+		return fmt.Errorf("guest: snapshot has zero size")
+	}
+	keys := make([]string, 0, len(img.Pages))
+	//lint:deterministic keys are sorted before use
+	for k := range img.Pages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if _, _, err := decodePage(key, img.Pages[key], img.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RestoreMemory rebuilds a Memory from a snapshot.
 func RestoreMemory(img MemoryImage) (*Memory, error) {
 	if img.Size == 0 {
 		return nil, fmt.Errorf("guest: snapshot has zero size")
 	}
 	m := NewMemory(img.Size)
-	//lint:deterministic disjoint per-page writes commute
+	//lint:deterministic canonical keys make per-page writes disjoint, so they commute
 	for key, data := range img.Pages {
-		var idx uint32
-		if _, err := fmt.Sscanf(key, "%d", &idx); err != nil {
-			return nil, fmt.Errorf("guest: bad page key %q", key)
-		}
-		if uint64(idx)*PageBytes >= uint64(m.size) {
-			return nil, fmt.Errorf("guest: page %d outside memory", idx)
-		}
-		raw, err := base64.StdEncoding.DecodeString(data)
+		idx, raw, err := decodePage(key, data, m.size)
 		if err != nil {
-			return nil, fmt.Errorf("guest: page %d: %w", idx, err)
-		}
-		if len(raw) != PageBytes {
-			return nil, fmt.Errorf("guest: page %d has %d bytes", idx, len(raw))
+			return nil, err
 		}
 		p := new([PageBytes]byte)
 		copy(p[:], raw)

@@ -132,9 +132,24 @@ type CodeModel struct {
 	heapEnd  uint64
 
 	calls     uint64
+	statCalls uint64 // calls retired before the last ResetRun
 	stackHot  uint64
 	heapPool  uint64
 	callsByFn []uint64
+
+	// byName dedups repeat registrations: successive guest builds feeding
+	// one persistent code model (core.IntervalRunner) declare the same
+	// component functions again, and those must resolve to the first
+	// build's layout — re-placing them would diverge the text segment from
+	// the address map already handed to the machine's TLBs.
+	byName map[string]regRecord
+}
+
+// regRecord remembers one primary registration for dedup.
+type regRecord struct {
+	id        sim.FuncID
+	codeBytes int
+	flags     sim.FuncFlags
 }
 
 // New builds a code model feeding sink.
@@ -164,6 +179,7 @@ func New(cfg Config, sink Sink) *CodeModel {
 		cfg:      cfg,
 		sink:     sink,
 		stackHot: cfg.StackBase,
+		byName:   map[string]regRecord{},
 	}
 	for s := cfg.TextSlots; s > 1; s >>= 1 {
 		m.slotBits++
@@ -235,8 +251,9 @@ func (m *CodeModel) FuncName(fn sim.FuncID) string {
 	return m.funcs[fn].name
 }
 
-// Calls returns the total function invocations replayed.
-func (m *CodeModel) Calls() uint64 { return m.calls }
+// Calls returns the total function invocations replayed, across ResetRun
+// boundaries.
+func (m *CodeModel) Calls() uint64 { return m.statCalls + m.calls }
 
 // CalledFuncs returns how many distinct functions have executed at least
 // once (the paper's Fig. 15 metric).
@@ -250,9 +267,18 @@ func (m *CodeModel) CalledFuncs() int {
 	return n
 }
 
-// RegisterFunc implements sim.Tracer.
+// RegisterFunc implements sim.Tracer. Registering an identical (name,
+// size, flags) triple again returns the original function: a simulator
+// binary has one copy of each function no matter how many guest systems
+// trace into it.
 func (m *CodeModel) RegisterFunc(name string, codeBytes int, flags sim.FuncFlags) sim.FuncID {
+	if prev, ok := m.byName[name]; ok && prev.codeBytes == codeBytes && prev.flags == flags {
+		return prev.id
+	}
 	id := m.registerOne(name, codeBytes, flags, false)
+	if _, ok := m.byName[name]; !ok {
+		m.byName[name] = regRecord{id: id, codeBytes: codeBytes, flags: flags}
+	}
 	// Primary functions bring a retinue of helper callees: parameter
 	// checks, accessors, allocator shims — the reason gem5 touches
 	// thousands of distinct functions per simulation.
@@ -448,6 +474,25 @@ func (m *CodeModel) call(fn sim.FuncID, depth int) {
 	m.sink.Data(m.stackHot-uint64(depth)*128, 16, false)
 	if m.prof != nil {
 		m.prof.Leave(fn)
+	}
+}
+
+// ResetRun rewinds the model's dynamic replay state — the call counter
+// and per-function trace rotors that drive heap/branch access patterns,
+// and the heap cursor that AllocData advances — to their initial values,
+// while keeping every registered function and the text layout intact. A
+// fresh guest build after ResetRun therefore replays the identical
+// component allocations and access sequences of the first build, staying
+// inside the address map already handed to the machine. core's
+// IntervalRunner calls this between the measurement windows that share
+// one code model; cumulative statistics (Calls, CalledFuncs) are
+// deliberately not reset.
+func (m *CodeModel) ResetRun() {
+	m.statCalls += m.calls
+	m.calls = 0
+	m.heapEnd = m.cfg.HeapBase + m.cfg.HeapPoolBytes + (1 << 20)
+	for i := range m.funcs {
+		m.funcs[i].rotor = 0
 	}
 }
 

@@ -1,0 +1,9 @@
+package simpoint
+
+import "gem5prof/internal/core"
+
+// BuildProfileForTest exposes the profile builder to the external test
+// package.
+func BuildProfileForTest(gc core.GuestConfig, interval, warmup uint64, dims int) (*Profile, error) {
+	return buildProfile(gc, interval, warmup, dims)
+}

@@ -1,0 +1,237 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Cluster is one execution phase: a set of similar intervals, one of which
+// (Rep) is simulated in detail on behalf of the whole set.
+type Cluster struct {
+	// Rep is the index (into Profile.Intervals) of the representative —
+	// the member closest to the cluster centroid.
+	Rep int
+	// Members lists the member interval indices in ascending order.
+	Members []int
+	// Insts is the total instruction count across all members.
+	Insts uint64
+	// Weight is Insts over the profile's total instructions.
+	Weight float64
+}
+
+// Phases is the result of clustering a profile.
+type Phases struct {
+	K        int
+	Clusters []Cluster
+}
+
+// clusterIntervals groups interval BBVs into phases. It runs seeded
+// k-means for every k in 1..maxK and picks k by the SimPoint rule: the
+// smallest k whose BIC reaches 90% of the best score's range. Everything
+// is deterministic: seeded initialization, fixed iteration order, and
+// lowest-index tie-breaks throughout.
+func clusterIntervals(ivs []Interval, maxK int, seed int64) Phases {
+	n := len(ivs)
+	vecs := make([][]float64, n)
+	for i, iv := range ivs {
+		vecs[i] = iv.Vec
+	}
+	if maxK > n {
+		maxK = n
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	assigns := make([][]int, maxK+1)
+	cents := make([][][]float64, maxK+1)
+	bics := make([]float64, maxK+1)
+	minBIC, maxBIC := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		assign, cent, distortion := kmeansOnce(vecs, k, seed+int64(k)*1009)
+		assigns[k], cents[k] = assign, cent
+		bics[k] = bic(vecs, assign, k, distortion)
+		minBIC = math.Min(minBIC, bics[k])
+		maxBIC = math.Max(maxBIC, bics[k])
+	}
+	chosen := maxK
+	threshold := minBIC + 0.9*(maxBIC-minBIC)
+	for k := 1; k <= maxK; k++ {
+		if bics[k] >= threshold {
+			chosen = k
+			break
+		}
+	}
+	return buildPhases(ivs, vecs, assigns[chosen], cents[chosen])
+}
+
+// kmeansOnce is deterministic Lloyd's with k-means++ seeding.
+func kmeansOnce(vecs [][]float64, k int, seed int64) (assign []int, cents [][]float64, distortion float64) {
+	n := len(vecs)
+	rng := rand.New(rand.NewSource(seed))
+	cents = seedCentroids(vecs, k, rng)
+	assign = make([]int, n)
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := sqDist(v, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids in fixed point order; an emptied centroid
+		// keeps its position (it simply attracts nothing).
+		dims := len(vecs[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += x
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			cents[c] = sums[c]
+		}
+	}
+	for i, v := range vecs {
+		distortion += sqDist(v, cents[assign[i]])
+	}
+	return assign, cents, distortion
+}
+
+// seedCentroids is k-means++: the first centroid is drawn uniformly, each
+// further one with probability proportional to squared distance from the
+// nearest already-chosen centroid.
+func seedCentroids(vecs [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vecs)
+	cents := make([][]float64, 0, k)
+	cents = append(cents, vecs[rng.Intn(n)])
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		var sum float64
+		for i, v := range vecs {
+			d2[i] = sqDist(v, cents[0])
+			for _, c := range cents[1:] {
+				if d := sqDist(v, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All points coincide with centroids; duplicate the first.
+			cents = append(cents, vecs[0])
+			continue
+		}
+		r := rng.Float64() * sum
+		pick := n - 1
+		acc := 0.0
+		for i := range d2 {
+			acc += d2[i]
+			if r < acc {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, vecs[pick])
+	}
+	return cents
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// bic is the spherical-Gaussian Bayesian information criterion SimPoint
+// uses to pick k: log-likelihood of the clustering minus a model-size
+// penalty. Higher is better.
+func bic(vecs [][]float64, assign []int, k int, distortion float64) float64 {
+	n := len(vecs)
+	d := len(vecs[0])
+	if n <= k {
+		// Saturated model: perfect fit, maximal penalty.
+		return -float64(k*(d+1)) / 2 * math.Log(float64(n))
+	}
+	variance := distortion / float64(d*(n-k))
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	counts := make([]int, k)
+	for _, c := range assign {
+		counts[c]++
+	}
+	var loglik float64
+	for _, nc := range counts {
+		if nc == 0 {
+			continue
+		}
+		fn := float64(nc)
+		loglik += fn*math.Log(fn) -
+			fn*math.Log(float64(n)) -
+			fn*float64(d)/2*math.Log(2*math.Pi*variance) -
+			(fn-1)*float64(d)/2
+	}
+	params := float64(k * (d + 1))
+	return loglik - params/2*math.Log(float64(n))
+}
+
+// buildPhases converts an assignment into ordered clusters: members
+// ascending, representative = member closest to the centroid (lowest index
+// on ties), clusters ordered by their smallest member so downstream
+// iteration — and therefore float accumulation order — is a pure function
+// of the clustering.
+func buildPhases(ivs []Interval, vecs [][]float64, assign []int, cents [][]float64) Phases {
+	groups := make(map[int][]int)
+	for i, c := range assign {
+		groups[c] = append(groups[c], i) // ascending: i increases
+	}
+	var total uint64
+	for _, iv := range ivs {
+		total += iv.Insts()
+	}
+	var clusters []Cluster
+	//lint:deterministic clusters are sorted by smallest member below
+	for c, members := range groups {
+		rep, repD := members[0], math.Inf(1)
+		var insts uint64
+		for _, m := range members {
+			insts += ivs[m].Insts()
+			if d := sqDist(vecs[m], cents[c]); d < repD {
+				rep, repD = m, d
+			}
+		}
+		clusters = append(clusters, Cluster{
+			Rep: rep, Members: members, Insts: insts,
+			Weight: float64(insts) / float64(total),
+		})
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		return clusters[i].Members[0] < clusters[j].Members[0]
+	})
+	return Phases{K: len(clusters), Clusters: clusters}
+}

@@ -1,0 +1,120 @@
+package simpoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// blobIntervals builds synthetic intervals whose vectors form well
+// separated blobs; instruction weights are uniform.
+func blobIntervals(centers [][]float64, perBlob int) []Interval {
+	var ivs []Interval
+	n := uint64(0)
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			vec := make([]float64, len(c))
+			for d := range c {
+				// Small deterministic jitter, different per point.
+				vec[d] = c[d] + 0.01*float64((i+b*perBlob)%7)/7
+			}
+			ivs = append(ivs, Interval{
+				StartInsts: n * 100, EndInsts: (n + 1) * 100, Vec: vec,
+			})
+			n++
+		}
+	}
+	return ivs
+}
+
+func TestKMeansFindsBlobs(t *testing.T) {
+	centers := [][]float64{
+		{10, 0, 0}, {0, 10, 0}, {0, 0, 10},
+	}
+	ivs := blobIntervals(centers, 5)
+	ph := clusterIntervals(ivs, 6, 1)
+	if ph.K != 3 {
+		t.Fatalf("found %d phases, want 3 well-separated blobs", ph.K)
+	}
+	// Each cluster must hold one complete blob.
+	for _, cl := range ph.Clusters {
+		if len(cl.Members) != 5 {
+			t.Fatalf("cluster size %d, want 5: %+v", len(cl.Members), cl)
+		}
+		blob := cl.Members[0] / 5
+		for _, m := range cl.Members {
+			if m/5 != blob {
+				t.Fatalf("cluster mixes blobs: %+v", cl.Members)
+			}
+		}
+		if cl.Rep/5 != blob {
+			t.Fatalf("representative %d outside its blob %d", cl.Rep, blob)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	ivs := blobIntervals([][]float64{{1, 2}, {8, 1}, {4, 9}, {0, 0}}, 4)
+	a := clusterIntervals(ivs, 6, 7)
+	b := clusterIntervals(ivs, 6, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs, same seed, different clustering")
+	}
+}
+
+func TestKMeansSinglePhase(t *testing.T) {
+	// All-identical vectors: one phase, full weight.
+	ivs := blobIntervals([][]float64{{3, 3}}, 1)
+	ivs = append(ivs, ivs[0], ivs[0], ivs[0])
+	for i := range ivs {
+		ivs[i].StartInsts = uint64(i) * 100
+		ivs[i].EndInsts = uint64(i+1) * 100
+	}
+	ph := clusterIntervals(ivs, 6, 1)
+	if ph.K != 1 {
+		t.Fatalf("identical intervals split into %d phases", ph.K)
+	}
+	if w := ph.Clusters[0].Weight; math.Abs(w-1) > 1e-12 {
+		t.Fatalf("single phase weight %g, want 1", w)
+	}
+}
+
+func TestClusterWeights(t *testing.T) {
+	ivs := blobIntervals([][]float64{{10, 0}, {0, 10}}, 3)
+	// Make the tail interval short, like a real profile's.
+	ivs[len(ivs)-1].EndInsts = ivs[len(ivs)-1].StartInsts + 40
+	ph := clusterIntervals(ivs, 4, 1)
+	var sum float64
+	var insts uint64
+	for _, cl := range ph.Clusters {
+		sum += cl.Weight
+		insts += cl.Insts
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 1", sum)
+	}
+	if want := uint64(5*100 + 40); insts != want {
+		t.Fatalf("cluster insts total %d, want %d", insts, want)
+	}
+}
+
+func TestMaxKClamp(t *testing.T) {
+	ivs := blobIntervals([][]float64{{1, 1}}, 2)
+	ph := clusterIntervals(ivs, 10, 1)
+	if ph.K > 2 {
+		t.Fatalf("more phases (%d) than intervals (2)", ph.K)
+	}
+}
+
+func TestProjectDeterministicOrder(t *testing.T) {
+	// The projection must not depend on map insertion order.
+	a := map[uint32]uint64{4096: 10, 8192: 5, 12288: 1}
+	b := map[uint32]uint64{12288: 1, 8192: 5, 4096: 10}
+	va, vb := project(a, 16), project(b, 16)
+	if !reflect.DeepEqual(va, vb) {
+		t.Fatal("projection depends on map order")
+	}
+	if reflect.DeepEqual(va, make([]float64, 16)) {
+		t.Fatal("projection is identically zero")
+	}
+}
