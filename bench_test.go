@@ -444,6 +444,32 @@ func BenchmarkCosimXeonPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkCosimXeonSharded is the sharded-execution PR's after leg
+// (BENCH_shardq.json, baseline BenchmarkCosimXeonSerial): the same
+// co-simulation with the guest's event queue split into per-domain shards
+// (CPU+devices / memory) advancing in parallel under the conservative
+// quantum barrier, stats bit-identical to serial (TestShardedDifferential).
+// Like the pipelined pair, the speedup requires a second hardware core; on
+// GOMAXPROCS==1 this measures pure barrier + mailbox + trace-replay
+// overhead.
+func BenchmarkCosimXeonSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := gem5prof.RunSession(gem5prof.SessionConfig{
+			Guest: gem5prof.GuestConfig{
+				CPU: gem5prof.O3, Mode: gem5prof.SE,
+				Workload: "water_nsquared", Scale: 40,
+				Shards: 2,
+			},
+			Host:     gem5prof.IntelXeon(),
+			Pipeline: gem5prof.PipelineOff,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.SimSeconds()
+	}
+}
+
 func BenchmarkGuestCacheAtomicAccess(b *testing.B) {
 	sys := sim.NewSystem(1)
 	h := mem.NewHierarchy(sys, mem.DefaultHierarchyConfig("b"))

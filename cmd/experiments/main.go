@@ -3,8 +3,9 @@
 // Usage:
 //
 //	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-pipeline auto|on|off]
-//	            [-simpoint] [-simpoint-interval N] [-ckpt-cache-dir DIR]
-//	            [-o out.txt] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-shards auto|off|N] [-simpoint] [-simpoint-interval N]
+//	            [-ckpt-cache-dir DIR] [-o out.txt] [-cpuprofile cpu.out]
+//	            [-memprofile mem.out]
 //
 // -simpoint switches the sweep-shaped figures (10, 12, 13) to SimPoint-style
 // sampled simulation (see DESIGN.md §12): profile once on the Atomic model,
@@ -31,6 +32,13 @@
 // its host uarch model on separate goroutines coupled by a batched SPSC
 // ring. Output is byte-identical in every mode; "auto" (default) enables
 // it when GOMAXPROCS > 1. See EXPERIMENTS.md for the full flag reference.
+//
+// -shards controls the third parallelism axis: sharded per-domain event
+// queues inside each guest simulation (DESIGN.md §13) — the CPU complex and
+// the DRAM controller advance on separate goroutines under a conservative
+// quantum barrier. Output is byte-identical at every shard count; "auto"
+// enables two shards when GOMAXPROCS >= 4, and the default is "off" because
+// job-level parallelism (-j) already saturates small hosts.
 //
 // Each experiment prints an aligned table whose rows mirror the series of
 // the corresponding figure, plus notes comparing the measured shape with the
@@ -70,6 +78,7 @@ func run() int {
 	runList := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
 	pipeline := flag.String("pipeline", "auto", "in-session producer/consumer pipeline: auto, on, or off (output is identical in every mode)")
+	shards := flag.String("shards", "off", "per-domain event-queue sharding inside each simulation: auto, off, or a shard count (output is identical in every mode)")
 	simPoint := flag.Bool("simpoint", false, "sample the sweep figures (10, 12, 13) via SimPoint-style phase-representative intervals")
 	simPointInterval := flag.Uint64("simpoint-interval", 0, "override the SimPoint profiling interval in committed instructions (0 = harness default)")
 	ckptCacheDir := flag.String("ckpt-cache-dir", "", "persist fast-forward checkpoints in this directory (content-addressed, self-verifying)")
@@ -84,6 +93,13 @@ func run() int {
 		return 2
 	}
 	core.SetDefaultPipeline(mode)
+
+	smode, ok := core.ParseShardMode(*shards)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "invalid -shards %q (want auto, off, or a shard count)\n", *shards)
+		return 2
+	}
+	core.SetDefaultShards(smode)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

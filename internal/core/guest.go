@@ -69,6 +69,10 @@ type GuestConfig struct {
 	Seed int64
 	// CalendarQueue selects the alternative event-queue backend (A5).
 	CalendarQueue bool
+	// Shards selects sharded per-domain event-queue execution (bit-identical
+	// at every shard count; see ShardMode). The zero value defers to the
+	// process-wide default (SetDefaultShards).
+	Shards ShardMode
 	// ExecTrace, when non-nil, receives one line per committed instruction
 	// on every core (gem5's --debug-flags=Exec).
 	ExecTrace io.Writer
@@ -159,13 +163,13 @@ func BuildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, error) {
 // instead.
 func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error) {
 	cfg = cfg.withDefaults()
-	var queue sim.Queue
-	if cfg.CalendarQueue {
-		queue = sim.NewCalendarQueue(1024, sim.Tick(cfg.ClockPeriod))
-	} else {
-		queue = sim.NewHeapQueue()
+	newQueue := func() sim.Queue {
+		if cfg.CalendarQueue {
+			return sim.NewCalendarQueue(1024, sim.Tick(cfg.ClockPeriod))
+		}
+		return sim.NewHeapQueue()
 	}
-	sys := sim.NewSystemWith(queue, tracer, cfg.Seed)
+	sys := sim.NewSystemWith(newQueue(), tracer, cfg.Seed)
 	ram := guest.NewMemory(cfg.MemBytes)
 	ram.SetHostBase(tracer.AllocData("guest.ram", uint64(cfg.MemBytes)))
 
@@ -245,7 +249,10 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 		fmem = g.FS.Mem
 	}
 
-	// Memory system.
+	// Memory system. Sharding must be enabled before the hierarchy is built
+	// so the DRAM controller constructs against the memory shard's view; the
+	// quantum is the DRAM row-hit latency — no cross-domain response can
+	// undercut it, which is what makes the barrier conservative.
 	if !cfg.IdealMemory {
 		hcfg := mem.DefaultHierarchyConfig("sys")
 		if cfg.Hierarchy != nil {
@@ -253,6 +260,13 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 		}
 		if cfg.GuestTLBs {
 			hcfg.GuestTLBs = true
+		}
+		if shards := resolveShards(cfg); shards > 1 {
+			sys.EnableSharding(sim.ShardConfig{
+				Shards:   shards,
+				Quantum:  sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+				NewQueue: newQueue,
+			})
 		}
 		g.Hier = mem.NewMultiHierarchy(sys, hcfg, cfg.NumCPUs)
 	}

@@ -123,13 +123,15 @@ func RunIntervalSession(cfg SessionConfig, ck *Checkpoint, warmup, budget uint64
 
 // Run measures one interval window; see RunIntervalSession.
 //
-// Interval sessions always run serially (never pipelined): the
-// warmup→measure boundary reads the host machine's clock mid-run, which a
-// decoupled ring consumer cannot serve — the same constraint that forces
-// Profile sessions serial. The function profiler is rejected outright
-// because its reports would mix warmup with measurement.
+// Interval sessions always run serially (never pipelined, never sharded):
+// the warmup→measure boundary reads the host machine's clock mid-run, which
+// neither a decoupled ring consumer nor the sharded engine's deferred trace
+// replay can serve — the same constraint that forces Profile sessions
+// serial. The function profiler is rejected outright because its reports
+// would mix warmup with measurement.
 func (r *IntervalRunner) Run(ck *Checkpoint, warmup, budget uint64) (*IntervalResult, error) {
 	cfg := r.cfg
+	cfg.Guest.Shards = ShardSerial
 	if cfg.Profile {
 		return nil, fmt.Errorf("core: interval sessions do not support the function profiler")
 	}

@@ -124,6 +124,19 @@ type SessionConfig struct {
 	Pipeline PipelineMode
 }
 
+// guestConfig returns the session's guest config with session-level
+// constraints applied: profiling forces the single-queue path because the
+// profiler reads the host machine's cycle counter synchronously at every
+// function entry/exit, which the sharded engine's deferred trace replay
+// cannot serve. (It forces PipelineOff for the same reason.)
+func (c SessionConfig) guestConfig() GuestConfig {
+	g := c.Guest
+	if c.Profile {
+		g.Shards = ShardSerial
+	}
+	return g
+}
+
 // SessionResult is one completed co-simulation.
 type SessionResult struct {
 	// Guest is the guest-side result (simulated ticks, instructions).
@@ -295,12 +308,14 @@ func (cs *cosim) result(gres *GuestResult) *SessionResult {
 // system, host machine, and code model, and the package-level state it reads
 // (workload registry, platform tables, SPEC profiles) is immutable after
 // init. The parallel experiment runner relies on this. In pipelined mode
-// each session adds exactly one consumer goroutine for the duration of its
-// run, so a harness admitting Jobs concurrent sessions runs at most 2*Jobs
-// simulation goroutines.
+// each session adds one consumer goroutine for the duration of its run, and
+// a sharded guest adds one shard worker plus one trace replayer, so a
+// harness admitting Jobs concurrent sessions runs at most
+// Jobs x (1 + pipeline + 2 x sharded) simulation goroutines.
 func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	gcfg := cfg.guestConfig()
 	cs, err := newCosim(cfg, cfg.Pipeline.enabled(cfg.Profile),
-		func(tr sim.Tracer) (*GuestSystem, error) { return BuildGuest(cfg.Guest, tr) })
+		func(tr sim.Tracer) (*GuestSystem, error) { return BuildGuest(gcfg, tr) })
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// ShardMode selects how many event-queue shards a guest simulation runs on
+// (see sim.System.EnableSharding). Sharding splits the simulated machine's
+// event queue by domain — CPU and devices on the coordinating shard, the
+// DRAM controller on a worker shard — advancing in parallel under a
+// conservative quantum barrier. Statistics, traces, and reports are
+// bit-identical at every shard count, so the mode is purely a performance
+// knob, orthogonal to the job-level parallelism of the experiment runner and
+// to the per-session producer/consumer pipeline (PipelineMode).
+type ShardMode int
+
+// Shard modes. Values >= 2 request that many shards (the current layout
+// clamps to 2: cpu+dev | mem).
+const (
+	// ShardAuto enables sharding exactly when the host has cores to spare
+	// (GOMAXPROCS >= 4, leaving room for the pipeline consumer and the
+	// trace replayer next to the two shards).
+	ShardAuto ShardMode = -1
+	// ShardDefault (the zero value) defers to the process-wide default set
+	// by SetDefaultShards; if that too is the zero value, it means serial.
+	ShardDefault ShardMode = 0
+	// ShardSerial forces the single-queue path (the pre-sharding behaviour).
+	ShardSerial ShardMode = 1
+)
+
+// String renders the mode as its flag spelling.
+func (m ShardMode) String() string {
+	switch {
+	case m == ShardAuto:
+		return "auto"
+	case m <= ShardSerial:
+		return "off"
+	default:
+		return strconv.Itoa(int(m))
+	}
+}
+
+// ParseShardMode parses "auto", "off" (or "serial"), or a shard count.
+func ParseShardMode(s string) (ShardMode, bool) {
+	switch s {
+	case "auto":
+		return ShardAuto, true
+	case "off", "serial", "false", "0", "1":
+		return ShardSerial, true
+	case "":
+		return ShardDefault, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return ShardDefault, false
+	}
+	return ShardMode(n), true
+}
+
+// defaultShards is the process-wide mode that ShardDefault configs resolve
+// against (cmd/experiments' -shards flag sets it once at startup). Atomic so
+// concurrent sessions may read it freely.
+var defaultShards atomic.Int32
+
+// SetDefaultShards sets the process-wide shard mode used by guests whose
+// GuestConfig.Shards is ShardDefault.
+func SetDefaultShards(m ShardMode) { defaultShards.Store(int32(m)) }
+
+// DefaultShards returns the process-wide shard mode.
+func DefaultShards() ShardMode { return ShardMode(defaultShards.Load()) }
+
+// resolveShards returns the effective shard count for one (defaulted) guest
+// config: 1 for the serial path, >= 2 for sharded execution. The Atomic CPU
+// performs its memory accesses synchronously inline (no DRAM events to
+// offload), and IdealMemory has no memory hierarchy at all, so both force
+// the serial path regardless of the requested mode.
+func resolveShards(cfg GuestConfig) int {
+	if cfg.CPU == Atomic || cfg.IdealMemory {
+		return 1
+	}
+	m := cfg.Shards
+	if m == ShardDefault {
+		m = DefaultShards()
+	}
+	if m == ShardAuto {
+		if runtime.GOMAXPROCS(0) >= 4 {
+			m = 2
+		} else {
+			m = ShardSerial
+		}
+	}
+	if m < 2 {
+		return 1
+	}
+	return int(m)
+}
+
+// ShardLayout renders the effective shard layout of a guest config as a
+// stable string: "serial" for the single-queue path, "cpu+dev|mem" for the
+// current two-shard layout. Checkpoint cache keys include it (see
+// internal/simpoint) so checkpoints taken under different layouts never
+// alias, even though their contents are bit-identical by construction.
+func ShardLayout(cfg GuestConfig) string {
+	if resolveShards(cfg.withDefaults()) < 2 {
+		return "serial"
+	}
+	return "cpu+dev|mem"
+}

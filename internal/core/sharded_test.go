@@ -1,0 +1,178 @@
+package core
+
+import (
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gem5prof/internal/platform"
+	"gem5prof/internal/sim"
+)
+
+// TestShardedDifferential is the sharded engine's end-to-end correctness
+// proof at the session level: for every cell, co-simulations at shard counts
+// 1, 2, and 4 (the layout clamps to 2) must produce a stat dump — host
+// report, code-model summary, guest registry — byte-identical to the serial
+// path's, and the committed-instruction exec trace must hash identically.
+// The conservative quantum barrier never lets a shard fire an event another
+// shard could still affect, and cross-shard posts carry their serial
+// provenance stamps, so the merged event order is the single-queue order
+// exactly.
+func TestShardedDifferential(t *testing.T) {
+	cells := []struct {
+		name     string
+		guest    GuestConfig
+		pipeline PipelineMode
+	}{
+		{"o3_xeon", GuestConfig{CPU: O3, Mode: SE, Workload: "water_nsquared", Scale: 24}, PipelineOff},
+		{"timing_calendar", GuestConfig{CPU: Timing, Mode: SE, Workload: "dedup", Scale: 2048, CalendarQueue: true}, PipelineOff},
+		{"fs_boot_pipelined", GuestConfig{CPU: Timing, Mode: FS, BootExit: true, BootKBs: 8}, PipelineOn},
+	}
+	host := platform.IntelXeon()
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func(shards ShardMode) (string, uint64) {
+				g := c.guest
+				g.Shards = shards
+				var trace strings.Builder
+				g.ExecTrace = &trace
+				res, err := RunSession(SessionConfig{Guest: g, Host: host, Pipeline: c.pipeline})
+				if err != nil {
+					t.Fatalf("shards %v: %v", shards, err)
+				}
+				h := fnv.New64a()
+				h.Write([]byte(trace.String()))
+				return fullStatDump(res), h.Sum64()
+			}
+			serial, serialTrace := run(ShardSerial)
+			if !strings.Contains(serial, "stat ") || strings.Contains(serial, "Cycles:0") {
+				t.Fatalf("suspiciously empty stat dump:\n%.400s", serial)
+			}
+			for _, shards := range []ShardMode{2, 4} {
+				dump, trace := run(shards)
+				if dump != serial {
+					t.Fatalf("stat dumps differ between serial and shards=%v:\n%s",
+						shards, firstDiff(serial, dump))
+				}
+				if trace != serialTrace {
+					t.Fatalf("exec trace hash differs between serial and shards=%v: %x vs %x",
+						shards, serialTrace, trace)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedHintReachesCodeModel checks the diagnostic plumbing: in a
+// sharded co-simulation the trace replayer announces shard transitions to
+// the code model (sim.ShardHinter), so the model attributes a nonzero share
+// of its records to the memory shard.
+func TestShardedHintReachesCodeModel(t *testing.T) {
+	cfg := SessionConfig{
+		Guest: GuestConfig{CPU: Timing, Workload: "sieve", Scale: 1024, Shards: 2},
+		Host:  platform.IntelXeon(),
+	}
+	cs, err := newCosim(cfg, false, func(tr sim.Tracer) (*GuestSystem, error) {
+		return BuildGuest(cfg.Guest, tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.run(cs.guest.Run); err != nil {
+		t.Fatal(err)
+	}
+	recs := cs.cm.ShardRecords()
+	if len(recs) < 2 || recs[1] == 0 {
+		t.Fatalf("no records attributed to the memory shard: %v", recs)
+	}
+	if recs[0] == 0 {
+		t.Fatalf("no records attributed to the cpu shard: %v", recs)
+	}
+}
+
+// TestShardModeResolution pins the resolution rules: the Atomic CPU and
+// IdealMemory force serial (no DRAM events to offload); explicit counts win
+// over the process default; auto needs GOMAXPROCS >= 4; profiling forces
+// serial at the session level.
+func TestShardModeResolution(t *testing.T) {
+	defer SetDefaultShards(ShardDefault)
+
+	auto := 1
+	if runtime.GOMAXPROCS(0) >= 4 {
+		auto = 2
+	}
+	base := GuestConfig{CPU: Timing}.Normalized()
+	cases := []struct {
+		name string
+		cfg  func() GuestConfig
+		def  ShardMode
+		want int
+	}{
+		{"default_off", func() GuestConfig { return base }, ShardDefault, 1},
+		{"explicit_2", func() GuestConfig { g := base; g.Shards = 2; return g }, ShardDefault, 2},
+		{"explicit_wins_over_default", func() GuestConfig { g := base; g.Shards = ShardSerial; return g }, 2, 1},
+		{"default_fills_in", func() GuestConfig { return base }, 2, 2},
+		{"auto", func() GuestConfig { g := base; g.Shards = ShardAuto; return g }, ShardDefault, auto},
+		{"auto_via_default", func() GuestConfig { return base }, ShardAuto, auto},
+		{"atomic_forces_serial", func() GuestConfig { g := base; g.CPU = Atomic; g.Shards = 2; return g }, ShardDefault, 1},
+		{"ideal_memory_forces_serial", func() GuestConfig { g := base; g.IdealMemory = true; g.Shards = 2; return g }, ShardDefault, 1},
+	}
+	for _, c := range cases {
+		SetDefaultShards(c.def)
+		if got := resolveShards(c.cfg()); got != c.want {
+			t.Errorf("%s: resolveShards = %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	SetDefaultShards(ShardDefault)
+	prof := SessionConfig{
+		Guest:   GuestConfig{CPU: Timing, Shards: 2},
+		Profile: true,
+	}
+	if got := resolveShards(prof.guestConfig().Normalized()); got != 1 {
+		t.Errorf("profiling session: resolveShards = %d, want 1", got)
+	}
+}
+
+// TestShardParseMode pins the flag spellings.
+func TestShardParseMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		mode ShardMode
+		ok   bool
+	}{
+		{"auto", ShardAuto, true}, {"", ShardDefault, true},
+		{"off", ShardSerial, true}, {"serial", ShardSerial, true},
+		{"0", ShardSerial, true}, {"1", ShardSerial, true},
+		{"2", 2, true}, {"4", 4, true},
+		{"-3", ShardDefault, false}, {"bogus", ShardDefault, false},
+	} {
+		mode, ok := ParseShardMode(c.in)
+		if mode != c.mode || ok != c.ok {
+			t.Errorf("ParseShardMode(%q) = %v,%v want %v,%v", c.in, mode, ok, c.mode, c.ok)
+		}
+	}
+	for _, m := range []ShardMode{ShardAuto, ShardSerial, 2} {
+		back, ok := ParseShardMode(m.String())
+		if !ok || back != m {
+			t.Errorf("round-trip %v -> %q -> %v,%v", m, m.String(), back, ok)
+		}
+	}
+}
+
+// TestShardLayout pins the layout strings the checkpoint cache keys embed.
+func TestShardLayout(t *testing.T) {
+	if got := ShardLayout(GuestConfig{CPU: Timing}); got != "serial" {
+		t.Errorf("serial layout = %q", got)
+	}
+	if got := ShardLayout(GuestConfig{CPU: Timing, Shards: 2}); got != "cpu+dev|mem" {
+		t.Errorf("sharded layout = %q", got)
+	}
+	// Atomic clamps to serial even when sharding is requested: the layout
+	// string must reflect what actually runs, or cache keys would split.
+	if got := ShardLayout(GuestConfig{CPU: Atomic, Shards: 2}); got != "serial" {
+		t.Errorf("atomic layout = %q", got)
+	}
+}

@@ -9,5 +9,6 @@ func All() []*Analyzer {
 		AtomicRing,
 		StatReg,
 		SinkDiscipline,
+		ShardPost,
 	}
 }

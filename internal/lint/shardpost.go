@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ShardPost enforces the sharded-execution scheduling discipline added with
+// the per-domain event queues (sim.System.EnableSharding). Two rules:
+//
+//  1. Outside package sim, events must be scheduled through a System
+//     (Schedule/ScheduleIn/Reschedule), never directly on a Queue backend
+//     (sys.Queue().Schedule(...)). The System is where cross-domain events
+//     are routed into the engine's mailboxes; a direct queue insert lands
+//     the event on the caller's shard regardless of its domain, silently
+//     breaking bit-identity — and only under sharding, which is the worst
+//     way to find out. Package sim itself (queue internals, the shard
+//     engine, their tests) is exempt.
+//
+//  2. The Quantum passed to EnableSharding must be provably derived from
+//     sim.QuantumFor — a call of it, a parameter of the enclosing function
+//     (wrappers re-delegate the obligation), or a local whose assignments
+//     all derive. QuantumFor is where the conservative-barrier safety
+//     argument lives (quantum <= minimum cross-domain latency); a raw
+//     constant may be silently larger than a latency someone later tunes
+//     down, and the runtime's quantum-barrier panic would then fire deep in
+//     a run instead of the mistake being visible at the call site.
+//
+// Both rules are syntactic and one-sided: safe-but-unprovable code can be
+// annotated with //lint:allow shardpost <reason>.
+var ShardPost = &Analyzer{
+	Name: "shardpost",
+	Doc: "flag direct Queue scheduling outside package sim (bypasses cross-shard mailbox " +
+		"routing) and EnableSharding quanta not provably derived from sim.QuantumFor",
+	Run: runShardPost,
+}
+
+func runShardPost(pass *Pass) error {
+	if !pkgScope(pass) {
+		return nil
+	}
+	inSim := pass.Pkg.Path() == "gem5prof/internal/sim" ||
+		strings.HasSuffix(pass.Pkg.Path(), "/internal/sim")
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if !inSim {
+					checkQueuePost(pass, call, sel)
+				}
+				if sel.Sel.Name == "EnableSharding" && len(call.Args) == 1 {
+					checkQuantum(pass, fd, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkQueuePost flags Schedule/Reschedule called on a sim queue backend
+// (the Queue interface or a concrete implementation) rather than a System.
+func checkQueuePost(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) {
+	if sel.Sel.Name != "Schedule" && sel.Sel.Name != "Reschedule" {
+		return
+	}
+	n := namedType(pass.TypesInfo.TypeOf(sel.X))
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "sim" {
+		return
+	}
+	switch n.Obj().Name() {
+	case "Queue", "HeapQueue", "CalendarQueue":
+		pass.Reportf(call.Pos(),
+			"direct %s on a sim queue backend bypasses the System's cross-shard mailbox routing; schedule through the System (or annotate //lint:allow shardpost <reason>)",
+			sel.Sel.Name)
+	}
+}
+
+// checkQuantum locates the Quantum expression flowing into an
+// EnableSharding call and demands QuantumFor provenance.
+func checkQuantum(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	arg := ast.Unparen(call.Args[0])
+	q, found := quantumExpr(pass, fd, arg)
+	if !found {
+		pass.Reportf(call.Args[0].Pos(),
+			"EnableSharding config's Quantum is not visible in this function; derive it with sim.QuantumFor at the call site, take it as a parameter, or annotate //lint:allow shardpost <reason>")
+		return
+	}
+	if q != nil && !quantumDerived(pass, fd, q, 0) {
+		pass.Reportf(q.Pos(),
+			"EnableSharding quantum is not provably derived from sim.QuantumFor; the conservative barrier is only safe for quanta bounded by the minimum cross-domain latency — derive it with QuantumFor or annotate //lint:allow shardpost <reason>")
+	}
+}
+
+// quantumExpr extracts the Quantum field expression from the EnableSharding
+// argument: directly from a composite literal, or from local assignments of
+// the config variable (composite-literal RHS or a cfg.Quantum field write).
+// A nil expression with found=true means the value is delegated (the arg is
+// a parameter of the enclosing function). found=false means the config's
+// provenance is not visible in this function at all.
+func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) (ast.Expr, bool) {
+	if cl, ok := arg.(*ast.CompositeLit); ok {
+		return quantumField(cl), true
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if isParamOf(pass, fd, id) {
+		return nil, true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	var q ast.Expr
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					continue
+				}
+				// cfg = sim.ShardConfig{...}
+				if li, ok := lhs.(*ast.Ident); ok &&
+					(pass.TypesInfo.Defs[li] == obj || pass.TypesInfo.Uses[li] == obj) {
+					if cl, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); ok {
+						found = true
+						if f := quantumField(cl); f != nil {
+							q = f
+						}
+					}
+				}
+				// cfg.Quantum = X
+				if se, ok := lhs.(*ast.SelectorExpr); ok && se.Sel.Name == "Quantum" {
+					if base, ok := ast.Unparen(se.X).(*ast.Ident); ok && pass.TypesInfo.Uses[base] == obj {
+						found = true
+						q = n.Rhs[i]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					if cl, ok := ast.Unparen(n.Values[i]).(*ast.CompositeLit); ok {
+						found = true
+						if f := quantumField(cl); f != nil {
+							q = f
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return q, found
+}
+
+// quantumField returns the Quantum field value of a composite literal, nil
+// if absent (a zero quantum; the runtime rejects it, nothing to prove).
+func quantumField(cl *ast.CompositeLit) ast.Expr {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Quantum" {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// quantumDerived is the accept predicate of rule 2.
+func quantumDerived(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch fn := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			return fn.Sel.Name == "QuantumFor"
+		case *ast.Ident:
+			return fn.Name == "QuantumFor"
+		}
+		return false
+	case *ast.Ident:
+		if isParamOf(pass, fd, e) {
+			return true
+		}
+		return quantumAssignmentsDerived(pass, fd, e, depth)
+	}
+	return false
+}
+
+// quantumAssignmentsDerived checks that id has at least one assignment in
+// fd and every assignment's RHS is itself QuantumFor-derived.
+func quantumAssignmentsDerived(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, depth int) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found, allOK := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				li, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pass.TypesInfo.Defs[li] == obj || pass.TypesInfo.Uses[li] == obj {
+					found = true
+					if !quantumDerived(pass, fd, n.Rhs[i], depth+1) {
+						allOK = false
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					found = true
+					if !quantumDerived(pass, fd, n.Values[i], depth+1) {
+						allOK = false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found && allOK
+}

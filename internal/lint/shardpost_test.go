@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gem5prof/internal/lint"
+	"gem5prof/internal/lint/linttest"
+)
+
+func TestShardPost(t *testing.T) {
+	linttest.Run(t, lint.ShardPost, "gem5prof/internal/sp")
+}

@@ -1,0 +1,103 @@
+// Fixtures for the shardpost analyzer: direct queue-backend scheduling
+// (rule 1) and EnableSharding quanta without QuantumFor provenance (rule 2).
+package sp
+
+import "gem5prof/internal/sim"
+
+type rig struct {
+	cfg sim.ShardConfig
+}
+
+// GoodSystemPost schedules through the System: routed per domain.
+func GoodSystemPost(sys *sim.System, e *sim.Event) {
+	sys.Schedule(e, 100)
+	sys.Reschedule(e, 200)
+}
+
+// BadQueuePost schedules directly on the backend, skipping mailbox routing.
+func BadQueuePost(sys *sim.System, e *sim.Event) {
+	sys.Queue().Schedule(e, 100) // want `bypasses the System's cross-shard mailbox routing`
+}
+
+// BadConcretePost hits a concrete backend type.
+func BadConcretePost(q *sim.HeapQueue, cq *sim.CalendarQueue, e *sim.Event) {
+	q.Schedule(e, 5)    // want `bypasses the System's cross-shard mailbox routing`
+	cq.Reschedule(e, 7) // want `bypasses the System's cross-shard mailbox routing`
+}
+
+// AllowedQueuePost waives a direct insert with an annotation.
+func AllowedQueuePost(q sim.Queue, e *sim.Event) {
+	//lint:allow shardpost single-shard replay harness owns the whole queue
+	q.Schedule(e, 5)
+}
+
+// GoodQuantumLiteral derives the quantum at the call site.
+func GoodQuantumLiteral(sys *sim.System, rowHit sim.Tick) {
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: sim.QuantumFor(rowHit)})
+}
+
+// GoodQuantumLocal derives a local first.
+func GoodQuantumLocal(sys *sim.System, rowHit sim.Tick) {
+	q := sim.QuantumFor(rowHit)
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: q})
+}
+
+// GoodQuantumParam forwards the obligation to the caller.
+func GoodQuantumParam(sys *sim.System, quantum sim.Tick) {
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: quantum})
+}
+
+// GoodConfigParam delegates the whole config.
+func GoodConfigParam(sys *sim.System, cfg sim.ShardConfig) {
+	sys.EnableSharding(cfg)
+}
+
+// GoodConfigVar builds a local config with a derived quantum.
+func GoodConfigVar(sys *sim.System, rowHit sim.Tick) {
+	cfg := sim.ShardConfig{Shards: 2, Quantum: sim.QuantumFor(rowHit)}
+	sys.EnableSharding(cfg)
+}
+
+// GoodFieldWrite assigns the quantum field from QuantumFor.
+func GoodFieldWrite(sys *sim.System, rowHit sim.Tick) {
+	var cfg sim.ShardConfig
+	cfg = sim.ShardConfig{Shards: 2}
+	cfg.Quantum = sim.QuantumFor(rowHit)
+	sys.EnableSharding(cfg)
+}
+
+// BadQuantumLiteral hardcodes a raw tick count.
+func BadQuantumLiteral(sys *sim.System) {
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: 15000}) // want `not provably derived from sim.QuantumFor`
+}
+
+// BadQuantumLocal launders the raw constant through a local.
+func BadQuantumLocal(sys *sim.System) {
+	q := sim.Tick(15000)
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: q}) // want `not provably derived from sim.QuantumFor`
+}
+
+// BadConfigVar builds a local config with a raw quantum.
+func BadConfigVar(sys *sim.System) {
+	cfg := sim.ShardConfig{Shards: 2, Quantum: 15000} // want `not provably derived from sim.QuantumFor`
+	sys.EnableSharding(cfg)
+}
+
+// BadFieldWrite overwrites a derived quantum with a raw one.
+func BadFieldWrite(sys *sim.System, rowHit sim.Tick) {
+	cfg := sim.ShardConfig{Shards: 2, Quantum: sim.QuantumFor(rowHit)}
+	cfg.Quantum = 15000 // want `not provably derived from sim.QuantumFor`
+	sys.EnableSharding(cfg)
+}
+
+// BadOpaqueConfig pulls the config from a struct field: provenance invisible.
+func BadOpaqueConfig(sys *sim.System, r *rig) {
+	cfg := r.cfg
+	sys.EnableSharding(cfg) // want `Quantum is not visible in this function`
+}
+
+// AllowedQuantum waives a raw quantum with an annotation.
+func AllowedQuantum(sys *sim.System) {
+	//lint:allow shardpost barrier safety proven offline for this fixed config
+	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: 15000})
+}

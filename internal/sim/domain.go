@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// Domain classifies SimObjects (and the events they schedule) into the
+// coarse simulation domains that can advance in parallel under sharded
+// execution: the CPU complex (cores, caches, TLBs, syscall emulation), the
+// memory system behind the shared bus (DRAM), and platform devices.
+//
+// Domains exist independently of sharding: every event carries one, and the
+// tag is inert (all events share the single queue) until EnableSharding maps
+// domains onto shards.
+type Domain uint8
+
+// Simulation domains.
+const (
+	// DomainCPU covers the CPU cores and everything they call
+	// synchronously: caches, TLBs, the bus front end, and OS emulation.
+	DomainCPU Domain = iota
+	// DomainMem covers DRAM behind the shared memory bus — the only
+	// components separated from the CPU complex by a latency large enough
+	// to make a conservative quantum barrier worthwhile.
+	DomainMem
+	// DomainDev covers platform devices (UART, timer). Devices interact
+	// with the CPUs at zero latency (MMIO, interrupt wires), so their
+	// shard is always fused with DomainCPU.
+	DomainDev
+	// NumDomains is the number of simulation domains.
+	NumDomains = 3
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainCPU:
+		return "cpu"
+	case DomainMem:
+		return "mem"
+	case DomainDev:
+		return "dev"
+	}
+	return fmt.Sprintf("Domain(%d)", uint8(d))
+}
+
+// QuantumFor derives the conservative barrier quantum from the minimum
+// cross-domain event latency: the smallest delta, in ticks, at which any
+// event fired on the memory shard may schedule an event onto another
+// domain's shard. For the classic hierarchy this is the DRAM row-hit
+// latency — every DRAM response is scheduled at least a row hit (plus
+// transfer) in the future. The engine lets the CPU shard run up to
+// Quantum ticks past the memory shard's earliest pending event, which is
+// safe exactly because no memory-side event can make anything happen
+// sooner than that. Cross-domain posts below the quantum panic at post
+// time, so a config whose real latencies violate the derivation fails
+// loudly instead of diverging. It panics on zero: a zero quantum would
+// serialize the shards tick by tick and indicates a broken derivation.
+func QuantumFor(minCrossLatency Tick) Tick {
+	if minCrossLatency == 0 {
+		panic("sim: QuantumFor(0): quantum must derive from a nonzero cross-domain latency")
+	}
+	return minCrossLatency
+}
+
+// ShardConfig configures sharded execution of one System (see
+// System.EnableSharding).
+type ShardConfig struct {
+	// Shards is the requested shard count. Values below 2 leave the system
+	// serial; values above the number of partitionable domains are clamped
+	// (DomainDev is always fused with DomainCPU, so the current maximum is
+	// 2: cpu+dev | mem).
+	Shards int
+	// Quantum is the conservative barrier quantum in ticks, derived with
+	// QuantumFor from the slowest cross-domain latency floor.
+	Quantum Tick
+	// NewQueue builds the event-queue backend for each additional shard;
+	// it should match the primary queue's backend (heap or calendar).
+	NewQueue func() Queue
+}

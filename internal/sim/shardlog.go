@@ -1,0 +1,264 @@
+package sim
+
+// Deferred tracer replay for sharded execution.
+//
+// Under sharded execution every shard's tracer activity (Call/Data records)
+// is appended to a per-shard log instead of being fed to the real Tracer
+// inline: the real Tracer is a stateful host model (or its ring encoder)
+// whose record order must equal the serial simulation's byte for byte, and
+// two shards firing concurrently cannot share it. A replayer goroutine
+// k-way-merges the per-shard logs below the published safe frontier — in
+// exactly the event order the single-queue simulation would have used — and
+// feeds the merged stream to the real Tracer. This also moves the entire
+// host-model/encoder cost off the simulation-critical shards, which is
+// where the sharded wall-clock win comes from on top of the DRAM-event
+// offload.
+
+// recKind distinguishes deferred tracer records.
+type recKind uint8
+
+const (
+	recCall recKind = iota
+	recData
+)
+
+// traceRec is one deferred Tracer call.
+type traceRec struct {
+	kind  recKind
+	write bool
+	size  uint32
+	fn    FuncID
+	addr  uint64
+}
+
+// groupKey is the full queue-ordering key of one dispatched event: the
+// deterministic merge position of its trace group. It mirrors Event.before
+// (minus the per-queue seq, which is not comparable across shards; residual
+// full-key ties merge lower shard first).
+type groupKey struct {
+	when  Tick
+	prio  int
+	stamp schedStamp
+}
+
+// less orders group keys like Event.before.
+func (k groupKey) less(o groupKey) bool {
+	if k.when != o.when {
+		return k.when < o.when
+	}
+	if k.prio != o.prio {
+		return k.prio < o.prio
+	}
+	l, _ := k.stamp.less(o.stamp)
+	return l
+}
+
+// segment is a flushable chunk of one shard's trace log: a flat record
+// arena indexed by per-group offsets, so appends never copy per record.
+type segment struct {
+	shard int
+	keys  []groupKey
+	offs  []int // offs[i] = start of group i in recs; len(keys)+1 entries
+	recs  []traceRec
+}
+
+// shardLog accumulates trace groups for one shard. It is written only by
+// the goroutine currently executing that shard and handed over (flushed)
+// only at barrier points, so it needs no locking.
+type shardLog struct {
+	shard int
+	seg   *segment
+}
+
+func newShardLog(shard int) *shardLog {
+	return &shardLog{shard: shard, seg: &segment{shard: shard}}
+}
+
+// begin opens a new trace group for the event with the given key: offs[i]
+// records where group i's records start. take appends the terminator.
+func (l *shardLog) begin(k groupKey) {
+	l.seg.keys = append(l.seg.keys, k)
+	l.seg.offs = append(l.seg.offs, len(l.seg.recs))
+}
+
+func (l *shardLog) call(fn FuncID) {
+	l.seg.recs = append(l.seg.recs, traceRec{kind: recCall, fn: fn})
+}
+
+func (l *shardLog) data(addr uint64, size uint32, write bool) {
+	l.seg.recs = append(l.seg.recs, traceRec{kind: recData, addr: addr, size: size, write: write})
+}
+
+// take detaches the filled segment, leaving a fresh one sized by hindsight.
+func (l *shardLog) take() *segment {
+	s := l.seg
+	// Terminate: offs gets len(keys)+1 entries, the last one len(recs), so
+	// group i's records are recs[offs[i]:offs[i+1]].
+	s.offs = append(s.offs, len(s.recs))
+	l.seg = &segment{
+		shard: l.shard,
+		keys:  make([]groupKey, 0, cap(s.keys)),
+		offs:  make([]int, 0, cap(s.offs)),
+		recs:  make([]traceRec, 0, cap(s.recs)),
+	}
+	return s
+}
+
+// empty reports whether the current segment holds no groups.
+func (l *shardLog) empty() bool { return len(l.seg.keys) == 0 }
+
+// replayBatch is one hand-off from the coordinator to the replayer: newly
+// completed segments plus the per-shard safe marks. mark[s] guarantees that
+// shard s will never log another group with key.when < mark[s].
+type replayBatch struct {
+	segs  []*segment
+	mark  [2]Tick
+	final bool // no further batches: drain everything
+}
+
+// shardTracer is the per-view Tracer shim installed by EnableSharding. While
+// the engine is not running (construction, startup, between Run calls) it is
+// a transparent passthrough to the real tracer; during a sharded run Call and
+// Data append to the view's shard log for deferred replay. RegisterFunc and
+// AllocData mutate tracer state that cannot be replayed and are construction-
+// time operations everywhere in the tree, so mid-run use panics.
+type shardTracer struct {
+	eng   *shardEngine
+	shard int
+	under Tracer
+}
+
+func (t *shardTracer) RegisterFunc(name string, codeBytes int, flags FuncFlags) FuncID {
+	if t.eng.running {
+		panic("sim: RegisterFunc during a sharded run (register host functions at construction time)")
+	}
+	return t.under.RegisterFunc(name, codeBytes, flags)
+}
+
+func (t *shardTracer) Call(fn FuncID) {
+	if !t.eng.running {
+		t.under.Call(fn)
+		return
+	}
+	if t.eng.traceOff {
+		return
+	}
+	t.eng.log[t.shard].call(fn)
+}
+
+func (t *shardTracer) Data(addr uint64, size uint32, write bool) {
+	if !t.eng.running {
+		t.under.Data(addr, size, write)
+		return
+	}
+	if t.eng.traceOff {
+		return
+	}
+	t.eng.log[t.shard].data(addr, size, write)
+}
+
+func (t *shardTracer) AllocData(name string, bytes uint64) uint64 {
+	if t.eng.running {
+		panic("sim: AllocData during a sharded run (allocate host data at construction time)")
+	}
+	return t.under.AllocData(name, bytes)
+}
+
+// ShardHinter is optionally implemented by Tracers that want to know which
+// shard produced the records that follow (a diagnostic annotation; it must
+// not influence modeled outcomes, which are bit-identical at every shard
+// count).
+type ShardHinter interface {
+	SetShardHint(shard int)
+}
+
+// replayStream is the replayer's view of one shard's ordered group stream.
+type replayStream struct {
+	segs []*segment
+	si   int // current segment
+	gi   int // current group within it
+}
+
+func (st *replayStream) head() (groupKey, bool) {
+	for st.si < len(st.segs) {
+		if st.gi < len(st.segs[st.si].keys) {
+			return st.segs[st.si].keys[st.gi], true
+		}
+		st.si++
+		st.gi = 0
+	}
+	return groupKey{}, false
+}
+
+// pop replays the current head group into tr and advances.
+func (st *replayStream) pop(tr Tracer) {
+	seg := st.segs[st.si]
+	lo, hi := seg.offs[st.gi], seg.offs[st.gi+1]
+	for i := lo; i < hi; i++ {
+		r := &seg.recs[i]
+		if r.kind == recCall {
+			tr.Call(r.fn)
+		} else {
+			tr.Data(r.addr, r.size, r.write)
+		}
+	}
+	st.gi++
+}
+
+// replayLoop drains replayBatches, merging the two shard streams in
+// deterministic key order (ties: lower shard first) and feeding the real
+// tracer. The merge order is a pure function of the logs; batch boundaries
+// and marks only affect when groups become eligible, never their order.
+func (eng *shardEngine) replayLoop() {
+	defer close(eng.replayDone)
+	tr := eng.under
+	hinter, _ := tr.(ShardHinter)
+	curShard := 0
+	var streams [2]replayStream
+	var mark [2]Tick
+	final := false
+	for !final {
+		batch, ok := <-eng.replayCh
+		if !ok {
+			break
+		}
+		for _, seg := range batch.segs {
+			streams[seg.shard].segs = append(streams[seg.shard].segs, seg)
+		}
+		mark = batch.mark
+		final = batch.final
+		for {
+			k0, ok0 := streams[0].head()
+			k1, ok1 := streams[1].head()
+			// With both heads visible the smaller key is the serial-next
+			// group: each stream lists its shard's dispatches in shard pop
+			// order, which equals the serial order restricted to that shard,
+			// so the serial-next event is always one of the two heads and the
+			// key comparison (full ties: lower shard first) decides which.
+			// With only one head visible, emitting is safe once the other
+			// shard provably cannot log anything below it (its mark, or the
+			// final batch).
+			s := -1
+			switch {
+			case ok0 && ok1:
+				if k1.less(k0) {
+					s = 1
+				} else {
+					s = 0
+				}
+			case ok0 && (final || k0.when < mark[1]):
+				s = 0
+			case ok1 && (final || k1.when < mark[0]):
+				s = 1
+			}
+			if s < 0 {
+				break
+			}
+			if hinter != nil && s != curShard {
+				hinter.SetShardHint(s)
+				curShard = s
+			}
+			streams[s].pop(tr)
+		}
+	}
+}

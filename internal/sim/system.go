@@ -33,6 +33,21 @@ type System struct {
 	fnSchedule FuncID // host function for queue insertion
 	serviced   uint64
 	started    bool
+
+	// Sharded execution (see EnableSharding). prim points at the root System
+	// from a domain view (nil on the root); shard is this view's shard index;
+	// eng is non-nil on the root and every view once sharding is enabled.
+	prim  *System
+	shard int
+	eng   *shardEngine
+}
+
+// root returns the primary System (itself, unless s is a domain view).
+func (s *System) root() *System {
+	if s.prim != nil {
+		return s.prim
+	}
+	return s
 }
 
 // NewSystem returns a System with a heap event queue, a NopTracer, and a
@@ -70,28 +85,51 @@ func (s *System) Rand() *rand.Rand { return s.rng }
 // Now returns the current simulation time.
 func (s *System) Now() Tick { return s.queue.Now() }
 
-// EventsServiced returns the number of events fired so far.
-func (s *System) EventsServiced() uint64 { return s.serviced }
+// EventsServiced returns the number of events fired so far, summed over all
+// shards. Each shard's counter has a single writer and the sum is read
+// between runs, so the aggregate is deterministic.
+func (s *System) EventsServiced() uint64 {
+	r := s.root()
+	n := r.serviced
+	if r.eng != nil {
+		for _, v := range r.eng.views {
+			if v != r {
+				n += v.serviced
+			}
+		}
+	}
+	return n
+}
 
-// Register adds a SimObject. Names must be unique within the system.
+// Register adds a SimObject. Names must be unique within the system; views
+// and the root share one namespace and registration order.
 func (s *System) Register(obj SimObject) {
+	r := s.root()
 	name := obj.Name()
-	if _, dup := s.byName[name]; dup {
+	if _, dup := r.byName[name]; dup {
 		panic(fmt.Sprintf("sim: duplicate SimObject name %q", name))
 	}
-	s.byName[name] = obj
-	s.objects = append(s.objects, obj)
+	r.byName[name] = obj
+	r.objects = append(r.objects, obj)
 }
 
 // Object returns the SimObject with the given name, or nil.
-func (s *System) Object(name string) SimObject { return s.byName[name] }
+func (s *System) Object(name string) SimObject { return s.root().byName[name] }
 
 // Objects returns all registered SimObjects in registration order.
-func (s *System) Objects() []SimObject { return s.objects }
+func (s *System) Objects() []SimObject { return s.root().objects }
 
 // Schedule inserts e at absolute tick when, attributing the queue work to
-// the host model.
+// the host model. Under sharded execution an event whose domain lives on
+// another shard is routed through the engine's mailbox instead of the local
+// queue (see shardEngine.post).
 func (s *System) Schedule(e *Event, when Tick) {
+	if s.eng != nil {
+		if dst := s.eng.layout[e.domain]; dst != s.shard {
+			s.eng.post(s, dst, e, when)
+			return
+		}
+	}
 	s.tracer.Call(s.fnSchedule)
 	s.queue.Schedule(e, when)
 }
@@ -102,10 +140,20 @@ func (s *System) ScheduleIn(e *Event, delta Tick) {
 }
 
 // Deschedule removes a scheduled event.
-func (s *System) Deschedule(e *Event) { s.queue.Deschedule(e) }
+func (s *System) Deschedule(e *Event) {
+	if s.eng != nil && s.eng.layout[e.domain] != s.shard {
+		panic(fmt.Sprintf("sim: cross-shard Deschedule of %s (domain %s)", e.name, e.domain))
+	}
+	s.queue.Deschedule(e)
+}
 
 // Reschedule moves e to absolute tick when, scheduling it if necessary.
+// Cross-shard reschedules are not supported: no component moves an event it
+// does not own, and supporting it would need a cancellation protocol.
 func (s *System) Reschedule(e *Event, when Tick) {
+	if s.eng != nil && s.eng.layout[e.domain] != s.shard {
+		panic(fmt.Sprintf("sim: cross-shard Reschedule of %s (domain %s)", e.name, e.domain))
+	}
 	s.tracer.Call(s.fnSchedule)
 	s.queue.Reschedule(e, when)
 }
@@ -173,7 +221,15 @@ type RunResult struct {
 
 // Run services events until the queue empties, limit ticks is exceeded,
 // maxEvents events have fired (0 = unlimited), or a component requests exit.
+// With sharding enabled the run executes on per-domain queues in parallel;
+// results are bit-identical to the serial run (see shardedqueue.go).
 func (s *System) Run(limit Tick, maxEvents uint64) RunResult {
+	if s.eng != nil {
+		if s.prim != nil {
+			panic("sim: Run on a domain view")
+		}
+		return s.eng.run(s, limit, maxEvents)
+	}
 	s.startup()
 	res := RunResult{Status: ExitQueueEmpty}
 	for {
@@ -198,6 +254,81 @@ func (s *System) Run(limit Tick, maxEvents uint64) RunResult {
 	}
 	res.Now = s.queue.Now()
 	return res
+}
+
+// EnableSharding splits the system onto per-domain event queues executed in
+// parallel under a conservative quantum barrier (see shardedqueue.go). It
+// must be called on the root System before any component that schedules
+// cross-domain events is constructed, and before simulation begins. With
+// cfg.Shards < 2 it is a no-op and the system stays serial. The current
+// layout fuses DomainDev with DomainCPU on shard 0 (the coordinator) and
+// places DomainMem on shard 1, so shard counts above 2 clamp to 2.
+func (s *System) EnableSharding(cfg ShardConfig) {
+	if s.prim != nil {
+		panic("sim: EnableSharding on a domain view")
+	}
+	if s.eng != nil {
+		panic("sim: EnableSharding called twice")
+	}
+	if cfg.Shards < 2 {
+		return
+	}
+	if s.started || s.serviced > 0 {
+		panic("sim: EnableSharding after simulation began")
+	}
+	if cfg.Quantum == 0 {
+		panic("sim: EnableSharding requires a nonzero quantum (derive it with QuantumFor)")
+	}
+	newQ := cfg.NewQueue
+	if newQ == nil {
+		newQ = func() Queue { return NewHeapQueue() }
+	}
+	eng := &shardEngine{
+		quantum: cfg.Quantum,
+		under:   s.tracer,
+		layout:  [NumDomains]int{DomainCPU: 0, DomainMem: 1, DomainDev: 0},
+		log:     [2]*shardLog{newShardLog(0), newShardLog(1)},
+	}
+	if _, nop := s.tracer.(*NopTracer); nop {
+		eng.traceOff = true
+	}
+	mv := &System{
+		queue:      newQ(),
+		byName:     s.byName,
+		stats:      s.stats,
+		rng:        s.rng,
+		fnDispatch: s.fnDispatch,
+		fnSchedule: s.fnSchedule,
+		prim:       s,
+		shard:      1,
+		eng:        eng,
+	}
+	mv.tracer = &shardTracer{eng: eng, shard: 1, under: eng.under}
+	s.tracer = &shardTracer{eng: eng, shard: 0, under: eng.under}
+	eng.views = [2]*System{s, mv}
+	s.eng = eng
+	for i, v := range eng.views {
+		if pc, ok := v.queue.(panicContexter); ok {
+			shard := i
+			pc.SetPanicContext(func() string { return eng.describe(shard) })
+		}
+	}
+}
+
+// Sharded reports whether sharded execution is enabled.
+func (s *System) Sharded() bool { return s.root().eng != nil }
+
+// DomainView returns the System facade owning the given domain's events:
+// components constructed against it schedule and read time on that domain's
+// shard. Without sharding (or for domains fused onto the primary shard) it
+// returns the root System itself. Views share the root's object registry,
+// statistics, RNG, and tracer identity.
+func (s *System) DomainView(d Domain) *System {
+	r := s.root()
+	if r.eng == nil {
+		return r
+	}
+	return r.eng.views[r.eng.layout[d]]
 }
 
 // serviceOneCatching fires one event, translating RequestExit panics into a

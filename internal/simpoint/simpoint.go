@@ -101,15 +101,23 @@ type Result struct {
 // TestCheckpointSeedInvariance), ExecTrace (observation only), and CPU
 // (instruction streams are model-invariant; the profile and checkpoints
 // always come from the Atomic model regardless of the measured target).
+//
+// The resolved shard layout IS included, defensively: sharded execution is
+// bit-identical to serial by design, but that is an invariant the
+// differential suites test, not an axiom the cache may assume. If a
+// layout-dependent divergence bug ever slipped in, shared cache keys would
+// launder a serial-engine checkpoint into a sharded run (or vice versa)
+// and hide the divergence from exactly the suites meant to catch it.
 func ConfigPrefix(gc core.GuestConfig) string {
 	gc = gc.Normalized()
 	hier := "default"
 	if gc.Hierarchy != nil {
 		hier = fmt.Sprintf("%+v", *gc.Hierarchy)
 	}
-	return fmt.Sprintf("mode=%s workload=%s scale=%d bootexit=%v bootkbs=%d ncpu=%d mem=%d clk=%d hier=%s ideal=%v gtlb=%v calq=%v",
+	return fmt.Sprintf("mode=%s workload=%s scale=%d bootexit=%v bootkbs=%d ncpu=%d mem=%d clk=%d hier=%s ideal=%v gtlb=%v calq=%v shards=%s",
 		gc.Mode, gc.Workload, gc.Scale, gc.BootExit, gc.BootKBs, gc.NumCPUs,
-		gc.MemBytes, gc.ClockPeriod, hier, gc.IdealMemory, gc.GuestTLBs, gc.CalendarQueue)
+		gc.MemBytes, gc.ClockPeriod, hier, gc.IdealMemory, gc.GuestTLBs, gc.CalendarQueue,
+		core.ShardLayout(gc))
 }
 
 // analysis is the per-(config family, sampling params) work shared by

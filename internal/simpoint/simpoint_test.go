@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gem5prof/internal/ckptcache"
@@ -296,5 +297,30 @@ func TestConfigPrefixExcludesSeedIncludesExecution(t *testing.T) {
 	e.NumCPUs = 1
 	if simpoint.ConfigPrefix(a) != simpoint.ConfigPrefix(e) {
 		t.Fatal("prefix distinguishes defaulted and explicit fields")
+	}
+}
+
+// TestConfigPrefixShardLayout pins that checkpoint cache keys split on the
+// resolved shard layout: a sharded and a serial run never exchange cached
+// checkpoints, so a hypothetical layout-dependent divergence could not be
+// laundered through the cache past the differential suites. Resolution —
+// not the raw mode — is what's keyed: an Atomic guest clamps to serial, so
+// requesting shards there must NOT split the key.
+func TestConfigPrefixShardLayout(t *testing.T) {
+	a := testGuest()
+	s := testGuest()
+	s.Shards = 2
+	if simpoint.ConfigPrefix(a) == simpoint.ConfigPrefix(s) {
+		t.Fatal("prefix ignores shard layout")
+	}
+	if !strings.Contains(simpoint.ConfigPrefix(s), "shards=cpu+dev|mem") {
+		t.Fatalf("sharded prefix missing layout: %q", simpoint.ConfigPrefix(s))
+	}
+	at := testGuest()
+	at.CPU = core.Atomic
+	ats := at
+	ats.Shards = 2
+	if simpoint.ConfigPrefix(at) != simpoint.ConfigPrefix(ats) {
+		t.Fatal("prefix splits on a shard request the Atomic model clamps away")
 	}
 }
