@@ -134,6 +134,44 @@ func BenchmarkFig15_HotFunctions(b *testing.B) {
 	})
 }
 
+func BenchmarkFig16_MulticoreScaling(b *testing.B) {
+	benchExperiment(b, "fig16", func(r *gem5prof.Experiment) (float64, string) {
+		return r.Rows[0].Values[len(r.Rows[0].Values)-1], "dotprod-4core-speedup-x"
+	})
+}
+
+// --- Multicore coherence benches (BENCH_coherence.json) ---
+
+// benchGuestMT runs one mt-suite kernel on the Timing model at the given
+// guest core count, reporting the simulated ticks the run took: the
+// before/after pair below records what directory coherence costs the host
+// (ns/op) and buys the guest (sim-ticks shrink with cores).
+func benchGuestMT(b *testing.B, cores int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := gem5prof.RunGuest(gem5prof.GuestConfig{
+			CPU: gem5prof.Timing, Workload: "dotprod_mt", Scale: 16384,
+			Cores: cores,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ChecksumOK {
+			b.Fatalf("cores=%d: checksum mismatch", cores)
+		}
+		b.ReportMetric(float64(res.SimTicks), "sim-ticks")
+	}
+}
+
+// BenchmarkGuestMTSerial / BenchmarkGuestMTQuad are the multicore PR's
+// before/after pair (BENCH_coherence.json): the same parallel kernel on a
+// 1-core guest (the exact pre-multicore machine — no directory, no
+// threading stats) versus a 4-core guest with per-core L1s behind the MESI
+// directory. The host pays for four cores' events plus coherence traffic;
+// the guest's simulated time drops.
+func BenchmarkGuestMTSerial(b *testing.B) { benchGuestMT(b, 1) }
+func BenchmarkGuestMTQuad(b *testing.B)   { benchGuestMT(b, 4) }
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // cosim runs one co-simulation and returns the modeled host seconds.

@@ -3,9 +3,13 @@
 // Usage:
 //
 //	experiments [-quick] [-run table1,fig01,...|all] [-j N] [-pipeline auto|on|off]
-//	            [-shards auto|off|N] [-simpoint] [-simpoint-interval N]
+//	            [-shards auto|off|N] [-cores N] [-simpoint] [-simpoint-interval N]
 //	            [-ckpt-cache-dir DIR] [-o out.txt] [-cpuprofile cpu.out]
 //	            [-memprofile mem.out]
+//
+// -cores caps the multicore guest scaling sweep (fig16): each cell builds
+// an N-core SE guest with per-core L1s/TLBs behind a MESI-style directory
+// at the shared L2 (DESIGN.md §14); 0 keeps the default 1/2/4 sweep.
 //
 // -simpoint switches the sweep-shaped figures (10, 12, 13) to SimPoint-style
 // sampled simulation (see DESIGN.md §12): profile once on the Atomic model,
@@ -79,6 +83,7 @@ func run() int {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (output is identical for any value)")
 	pipeline := flag.String("pipeline", "auto", "in-session producer/consumer pipeline: auto, on, or off (output is identical in every mode)")
 	shards := flag.String("shards", "off", "per-domain event-queue sharding inside each simulation: auto, off, or a shard count (output is identical in every mode)")
+	cores := flag.Int("cores", 0, "cap the multicore scaling sweep (fig16) at this guest core count (0 = default 1/2/4)")
 	simPoint := flag.Bool("simpoint", false, "sample the sweep figures (10, 12, 13) via SimPoint-style phase-representative intervals")
 	simPointInterval := flag.Uint64("simpoint-interval", 0, "override the SimPoint profiling interval in committed instructions (0 = harness default)")
 	ckptCacheDir := flag.String("ckpt-cache-dir", "", "persist fast-forward checkpoints in this directory (content-addressed, self-verifying)")
@@ -156,6 +161,7 @@ func run() int {
 
 	opt := experiments.Options{
 		Quick: *quick, Jobs: *jobs,
+		Cores:            *cores,
 		SimPoint:         *simPoint,
 		SimPointInterval: *simPointInterval,
 		CkptCacheDir:     *ckptCacheDir,

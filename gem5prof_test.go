@@ -34,7 +34,7 @@ func TestPublicSurface(t *testing.T) {
 		t.Fatal("no host time")
 	}
 
-	if len(gem5prof.WorkloadNames()) != 10 {
+	if len(gem5prof.WorkloadNames()) != 12 {
 		t.Fatalf("workloads = %v", gem5prof.WorkloadNames())
 	}
 	if len(gem5prof.PARSECWorkloads()) != 9 {
@@ -43,7 +43,7 @@ func TestPublicSurface(t *testing.T) {
 	if len(gem5prof.SPECNames()) != 3 {
 		t.Fatal("SPEC set wrong")
 	}
-	if len(gem5prof.ExperimentIDs()) != 18 {
+	if len(gem5prof.ExperimentIDs()) != 19 {
 		t.Fatalf("experiments = %v", gem5prof.ExperimentIDs())
 	}
 	if _, err := gem5prof.PlatformByName("M1_Pro"); err != nil {

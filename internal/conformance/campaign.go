@@ -153,11 +153,17 @@ func writeRepro(cfg CampaignConfig, rep SeedReport, dir string) (string, error) 
 	for _, d := range rep.Divergences {
 		header += "# " + d.String() + "\n"
 	}
-	path := filepath.Join(dir, fmt.Sprintf("seed_%d.s", rep.Seed))
+	return writeReproFile(dir, fmt.Sprintf("seed_%d.s", rep.Seed), header+min+"\n")
+}
+
+// writeReproFile writes one reproducer source under dir, creating it as
+// needed. Shared by the campaign and litmus repro writers.
+func writeReproFile(dir, name, content string) (string, error) {
+	path := filepath.Join(dir, name)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	if err := os.WriteFile(path, []byte(header+min+"\n"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -149,6 +149,9 @@ func TestReproReplay(t *testing.T) {
 	}
 	for _, file := range files {
 		file := file
+		if strings.HasPrefix(filepath.Base(file), "litmus_") {
+			continue // multi-threaded; replayed by TestLitmusReproReplay
+		}
 		t.Run(filepath.Base(file), func(t *testing.T) {
 			src, err := os.ReadFile(file)
 			if err != nil {

@@ -26,6 +26,8 @@ import (
 //	cpu:    ecalls <= committedInsts + 1           (final ecall is uncounted)
 //	bp:     bpMispredicts <= bpLookups, btbMisses <= bpLookups
 //	dram:   rowHits + rowMisses <= reads + writes
+//	dir:    getS + getM == putS + putM + invals + droppedFills + tracked
+//	        (<= when not drained), upgrades + downgrades <= getS + getM
 //	histos: sum(buckets) == samples, min <= mean <= max
 //	all:    every value is finite
 func CheckStats(reg *sim.Registry, drained bool) []string {
@@ -85,6 +87,33 @@ func CheckStats(reg *sim.Registry, drained bool) []string {
 			if g["hits"]+g["misses"] != g["translations"] {
 				bad("%s: hits+misses = %.0f != translations = %.0f",
 					prefix, g["hits"]+g["misses"], g["translations"])
+			}
+		case has(g, "getS", "tracked"):
+			// Coherence directory: every forwarded fetch resolves as exactly
+			// one of a currently tracked copy, an observed eviction, a forced
+			// invalidation, or a dropped in-flight install — so the transition
+			// counts conserve. In-flight fetches are already counted in
+			// getS/getM but not yet resolved, hence the inequality when the
+			// system did not drain.
+			fetches := g["getS"] + g["getM"]
+			resolved := g["putS"] + g["putM"] + g["invals"] + g["droppedFills"] + g["tracked"]
+			if drained && resolved != fetches {
+				bad("%s: putS+putM+invals+droppedFills+tracked = %.0f != getS+getM = %.0f (drained)",
+					prefix, resolved, fetches)
+			}
+			if resolved > fetches {
+				bad("%s: putS+putM+invals+droppedFills+tracked = %.0f > getS+getM = %.0f",
+					prefix, resolved, fetches)
+			}
+			// Each getS downgrades at most one owner (single-writer), and a
+			// copy is upgradable only after a shared install (a getS) or a
+			// downgrade.
+			if g["downgrades"] > g["getS"] {
+				bad("%s: downgrades = %.0f > getS = %.0f", prefix, g["downgrades"], g["getS"])
+			}
+			if g["upgrades"] > g["getS"]+g["downgrades"] {
+				bad("%s: upgrades = %.0f > getS+downgrades = %.0f",
+					prefix, g["upgrades"], g["getS"]+g["downgrades"])
 			}
 		case has(g, "rowHits", "reads"):
 			// DRAM: every row-buffer outcome belongs to a transaction.

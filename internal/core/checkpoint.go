@@ -71,6 +71,13 @@ func (g *GuestSystem) TakeCheckpoint() (*Checkpoint, error) {
 	if g.Cfg.CPU != Atomic {
 		return nil, fmt.Errorf("core: checkpoints require the Atomic CPU (got %s)", g.Cfg.CPU)
 	}
+	if g.Cfg.Cores > 1 {
+		// The snapshot captures memory and per-core arch state but not
+		// the coherence directory or the sysemu thread table (join
+		// values, futex wait queues), so restoring a multicore guest
+		// would be silently lossy. Fail loudly instead.
+		return nil, fmt.Errorf("core: checkpoints are single-core only (directory and thread state are not captured)")
+	}
 	for _, c := range g.CPUs {
 		if c.Core().Waiting() {
 			return nil, fmt.Errorf("core: cannot checkpoint a core parked in WFI")

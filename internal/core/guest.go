@@ -53,6 +53,14 @@ type GuestConfig struct {
 	BootKBs int
 	// NumCPUs is the simulated core count (FS only; extra harts park).
 	NumCPUs int
+	// Cores is the SE-mode multicore guest core count. Core 0 enters the
+	// workload at its entry point; cores 1..Cores-1 start parked and are
+	// dispatched by the SysSpawn threading syscall (internal/sysemu). More
+	// than one core puts a MESI directory controller between the per-core
+	// L1 data caches and the shared L2 and enables the threading syscall
+	// surface; at the default of 1 the build is bit-identical to the
+	// single-core path. FS mode uses NumCPUs instead.
+	Cores int
 	// MemBytes is guest DRAM size (default 16 MiB, like the paper's small
 	// simulated memories relative to the host).
 	MemBytes uint32
@@ -94,6 +102,15 @@ func (c *GuestConfig) withDefaults() GuestConfig {
 	}
 	if out.NumCPUs <= 0 {
 		out.NumCPUs = 1
+	}
+	if out.Cores <= 0 {
+		out.Cores = 1
+	}
+	if out.Mode == SE && out.Cores > 1 {
+		// The builder sizes the CPU array and memory system off NumCPUs;
+		// folding Cores into it here also makes the checkpoint-cache key
+		// (simpoint.ConfigPrefix's ncpu field) distinguish core counts.
+		out.NumCPUs = out.Cores
 	}
 	if out.MemBytes == 0 {
 		out.MemBytes = 16 * 1024 * 1024
@@ -181,6 +198,10 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 		if cfg.BootExit {
 			return nil, 0, fmt.Errorf("core: boot-exit requires FS mode")
 		}
+	} else if cfg.Cores > 1 {
+		return nil, 0, fmt.Errorf("core: Cores is SE-only; FS guests size with NumCPUs")
+	}
+	if cfg.Mode == SE {
 		spec, ok := workloads.ByName(cfg.Workload)
 		if !ok {
 			return nil, 0, fmt.Errorf("core: unknown workload %q", cfg.Workload)
@@ -261,6 +282,9 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 		if cfg.GuestTLBs {
 			hcfg.GuestTLBs = true
 		}
+		if cfg.Cores > 1 {
+			hcfg.Directory = true
+		}
 		if shards := resolveShards(cfg); shards > 1 {
 			sys.EnableSharding(sim.ShardConfig{
 				Shards:   shards,
@@ -279,6 +303,7 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 			Mem:         fmem,
 			Env:         env,
 			HartID:      uint32(i),
+			Domain:      sim.DomainForCore(i),
 			ExecTrace:   cfg.ExecTrace,
 		}
 		if g.Hier != nil {
@@ -302,6 +327,18 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 	}
 	if sink != nil {
 		sink.Sink = g.CPUs[0].Core()
+	}
+	if g.SE != nil && cfg.Cores > 1 {
+		// Multicore SE guest: hand the threading syscalls their cores and
+		// park the secondaries — only SysSpawn dispatches them.
+		cores := make([]*cpu.Core, len(g.CPUs))
+		for i, c := range g.CPUs {
+			cores[i] = c.Core()
+		}
+		g.SE.AttachCores(cores)
+		for _, c := range cores[1:] {
+			c.Park()
+		}
 	}
 	return g, entry, nil
 }

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gem5prof/internal/core"
+)
+
+// mtStatDump renders the full registry so two runs can be compared
+// byte-for-byte, not just on a handful of headline counters.
+func mtStatDump(res *core.GuestResult) string {
+	var b strings.Builder
+	for _, name := range res.Stats.Names() {
+		fmt.Fprintf(&b, "%s = %v\n", name, res.Stats.Get(name))
+	}
+	return b.String()
+}
+
+// TestMTSmoke runs the mt kernels on every CPU model across core counts:
+// the checksum must hold everywhere (the kernels verify their own result,
+// so a coherence bug shows up as a wrong answer, not just odd stats), two
+// identical runs must be bit-equal, and the directory's stat surface must
+// exist exactly when a directory was built (cores > 1).
+func TestMTSmoke(t *testing.T) {
+	type combo struct {
+		model core.CPUModel
+		cores int
+	}
+	var combos []combo
+	for _, cores := range []int{1, 2, 4} {
+		combos = append(combos,
+			combo{core.Atomic, cores}, combo{core.Timing, cores})
+	}
+	// The detailed models are ~10x slower per instruction; the 1- and
+	// 4-core endpoints cover the no-directory and full-sharing shapes.
+	for _, cores := range []int{1, 4} {
+		combos = append(combos,
+			combo{core.Minor, cores}, combo{core.O3, cores})
+	}
+	for _, wl := range []string{"dotprod_mt", "histogram_mt"} {
+		for _, cb := range combos {
+			res, err := core.RunGuest(core.GuestConfig{CPU: cb.model, Workload: wl, Cores: cb.cores})
+			if err != nil {
+				t.Fatalf("%s cores=%d %s: %v", wl, cb.cores, cb.model, err)
+			}
+			if !res.ChecksumOK {
+				t.Fatalf("%s cores=%d %s: checksum got %d want %d", wl, cb.cores, cb.model, res.ExitCode, res.Expected)
+			}
+
+			// The directory and thread stats exist iff the machine has
+			// more than one core; a 1-core guest must build the exact
+			// pre-multicore machine.
+			dump := mtStatDump(res)
+			for _, stat := range []string{"sys.dir.getS", "se.threads.spawns"} {
+				if got := strings.Contains(dump, stat+" "); got != (cb.cores > 1) {
+					t.Errorf("%s cores=%d %s: stat %s present=%v, want %v",
+						wl, cb.cores, cb.model, stat, got, cb.cores > 1)
+				}
+			}
+
+			// Same config, same seed: the rerun must be bit-equal in
+			// simulated time and in every stat.
+			again, err := core.RunGuest(core.GuestConfig{CPU: cb.model, Workload: wl, Cores: cb.cores})
+			if err != nil {
+				t.Fatalf("%s cores=%d %s rerun: %v", wl, cb.cores, cb.model, err)
+			}
+			if again.SimTicks != res.SimTicks {
+				t.Errorf("%s cores=%d %s: rerun ticks %d != %d", wl, cb.cores, cb.model, again.SimTicks, res.SimTicks)
+			}
+			if d2 := mtStatDump(again); d2 != dump {
+				t.Errorf("%s cores=%d %s: rerun stats differ from first run", wl, cb.cores, cb.model)
+			}
+
+			t.Logf("%s cores=%d %s: ok insts=%d ticks=%d", wl, cb.cores, cb.model, res.Insts, res.SimTicks)
+		}
+	}
+}

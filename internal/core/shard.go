@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -99,12 +100,18 @@ func resolveShards(cfg GuestConfig) int {
 
 // ShardLayout renders the effective shard layout of a guest config as a
 // stable string: "serial" for the single-queue path, "cpu+dev|mem" for the
-// current two-shard layout. Checkpoint cache keys include it (see
-// internal/simpoint) so checkpoints taken under different layouts never
-// alias, even though their contents are bit-identical by construction.
+// current two-shard layout, and "cpuxN+dev|mem" for a multicore guest whose
+// per-core domains (sim.DomainForCore) all fuse onto the coordinator shard.
+// Checkpoint cache keys include it (see internal/simpoint) so checkpoints
+// taken under different layouts never alias, even though their contents are
+// bit-identical by construction.
 func ShardLayout(cfg GuestConfig) string {
-	if resolveShards(cfg.withDefaults()) < 2 {
+	d := cfg.withDefaults()
+	if resolveShards(d) < 2 {
 		return "serial"
+	}
+	if d.NumCPUs > 1 {
+		return fmt.Sprintf("cpux%d+dev|mem", d.NumCPUs)
 	}
 	return "cpu+dev|mem"
 }

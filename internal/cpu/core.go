@@ -75,6 +75,10 @@ type Config struct {
 	DPort mem.Port
 	// HartID distinguishes cores in a multi-core guest.
 	HartID uint32
+	// Domain tags the model's root tick/fetch event for sharded execution
+	// (sim.DomainForCore). The zero value is DomainCPU, the single-core
+	// behaviour.
+	Domain sim.Domain
 	// ExecTrace, when non-nil, receives one line per committed instruction
 	// (gem5's --debug-flags=Exec).
 	ExecTrace io.Writer
@@ -136,6 +140,13 @@ type Core struct {
 	intPending bool
 	waiting    bool // parked in WFI
 	wakeup     func()
+	// redirect, when set, tells a buffered-frontend model (Minor, O3)
+	// that a parked core's architectural PC moved, so stale fetch state
+	// must be squashed before the core resumes. Only fired by SetPC
+	// while the core is parked: a running core's redirects are already
+	// handled by the models' own pc-mismatch checks, and adding a squash
+	// there would change single-core statistics.
+	redirect func(pc uint32)
 
 	// Statistics common to every model.
 	numInsts    *sim.Counter
@@ -293,8 +304,41 @@ func (c *Core) Halt() { c.halted = true }
 // Waiting reports whether the core is parked in WFI.
 func (c *Core) Waiting() bool { return c.waiting }
 
-// SetPC redirects the core (used by environments during traps).
-func (c *Core) SetPC(pc uint32) { c.pc = pc }
+// HartID returns the core's hart id (CSRHartID).
+func (c *Core) HartID() uint32 { return c.cfg.HartID }
+
+// Park stops the core at the next instruction boundary without halting it,
+// reusing the WFI wait machinery every model already honours: the model's
+// tick loop sees waiting and lets its events drain. The threading syscall
+// surface parks secondary cores before first spawn and blocked joiners /
+// futex waiters; Unpark resumes them.
+func (c *Core) Park() { c.waiting = true }
+
+// Unpark resumes a parked core one clock later (via the model's wakeup
+// event). A core that is not parked is left untouched, so a spurious wake
+// is harmless.
+func (c *Core) Unpark() {
+	if !c.waiting {
+		return
+	}
+	c.waiting = false
+	if c.wakeup != nil {
+		c.wakeup()
+	}
+}
+
+// SetPC redirects the core (used by environments during traps, and by
+// the threading syscalls to aim a parked core at a spawned thread's
+// entry). Redirecting a parked core also squashes the model's fetch
+// state: a buffered frontend would otherwise resume fetching the old
+// stream and drop every instruction as wrong-path — forever, if the old
+// stream's predicted control flow loops.
+func (c *Core) SetPC(pc uint32) {
+	c.pc = pc
+	if c.waiting && c.redirect != nil {
+		c.redirect(pc)
+	}
+}
 
 // RaiseInterrupt marks an interrupt pending and wakes a WFI'd core.
 func (c *Core) RaiseInterrupt() {

@@ -28,6 +28,11 @@ type Options struct {
 	// shared RNG.
 	Jobs int
 
+	// Cores caps the multicore scaling sweep (fig16) at the given guest
+	// core count, rounded down to a power of two. 0 means the default
+	// sweep (1, 2, 4 cores).
+	Cores int
+
 	// SimPoint switches the figures that opt in (the sweep-shaped figs
 	// 10, 12, 13) to SimPoint-style sampled simulation: profile once per
 	// config family on the Atomic model, then simulate only one

@@ -12,7 +12,7 @@ func TestIDsComplete(t *testing.T) {
 		"ablations",
 		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "table1", "table2",
+		"fig15", "fig16", "table1", "table2",
 	}
 	got := IDs()
 	if len(got) != len(want) {

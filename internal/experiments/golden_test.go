@@ -20,7 +20,7 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report fixtures")
 
 func TestGoldenReports(t *testing.T) {
-	for _, id := range []string{"fig02", "fig04", "fig07", "fig08", "fig10", "fig13"} {
+	for _, id := range []string{"fig02", "fig04", "fig07", "fig08", "fig10", "fig13", "fig16"} {
 		t.Run(id, func(t *testing.T) {
 			ResetCaches()
 			res, err := Run(id, Options{Quick: true, Jobs: 1})

@@ -24,7 +24,12 @@ import (
 //     through its closure);
 //   - a stat assigned to a variable or field that is never mentioned
 //     again in the package is equally dead: registered, dumped, never
-//     driven by the model.
+//     driven by the model;
+//   - a registration inside a loop whose name argument is a compile-time
+//     constant is a guaranteed second-iteration panic: per-instance stat
+//     families (per-core caches, per-bank DRAM counters, the directory's
+//     per-core presence stats) must derive the name from the loop
+//     variable.
 var StatReg = &Analyzer{
 	Name: "statreg",
 	Doc: "stat registrations must happen in constructors with unique names, and every " +
@@ -100,6 +105,56 @@ func checkStatFunc(pass *Pass, fd *ast.FuncDecl) {
 	})
 
 	checkStatUse(pass, fd)
+	checkStatLoop(pass, fd)
+}
+
+// checkStatLoop flags registrations inside a for/range body whose name
+// argument is a compile-time constant. The per-function duplicate check
+// above cannot see these — one syntactic site, many dynamic
+// registrations — but the second iteration re-registers the same name and
+// Registry.add panics at run time. This is the multicore trap: replicating
+// a cache or TLB per core replicates its constructor calls in a loop, and
+// every stat name inside must vary with the instance.
+func checkStatLoop(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				// A nested loop is visited by the outer Inspect in its
+				// own right; stopping here attributes each call to its
+				// innermost enclosing loop exactly once.
+				return false
+			case *ast.FuncLit:
+				// A closure built in the loop need not run per
+				// iteration; flagging its body would be speculative.
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := isRegistryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+				pass.Reportf(call.Pos(),
+					"stat %s registered inside a loop with constant name %s: the second iteration re-registers it and Registry.add panics (derive the name from the loop variable, e.g. fmt.Sprintf)",
+					method, types.ExprString(call.Args[0]))
+			}
+			return true
+		})
+		return true
+	})
 }
 
 func isConstructorish(fd *ast.FuncDecl) bool {

@@ -2,7 +2,11 @@
 // around sim.Registry.
 package sr
 
-import "gem5prof/internal/sim"
+import (
+	"fmt"
+
+	"gem5prof/internal/sim"
+)
 
 type model struct {
 	insts *sim.Counter
@@ -39,6 +43,36 @@ func newDup(r *sim.Registry) (*sim.Counter, *sim.Counter) {
 func newDiscard(r *sim.Registry) {
 	r.Histogram("lat", "latency")   // want `is discarded`
 	_ = r.Scalar("drop", "dropped") // want `assigned to _`
+}
+
+// newPerCore replicates a stat family per core, the directory shape: the
+// name must derive from the loop variable or the second iteration panics
+// in Registry.add.
+func newPerCore(r *sim.Registry, cores int) []*sim.Counter {
+	getS := make([]*sim.Counter, cores)
+	for i := range getS {
+		getS[i] = r.Counter(fmt.Sprintf("core%d.getS", i), "per-core GetS") // clean: name varies per iteration
+	}
+	const name = "dir." + "getS"
+	for i := range getS {
+		getS[i] = r.Counter(name, "directory GetS") // want `registered inside a loop with constant name`
+	}
+	for i := 0; i < cores; i++ {
+		getS[i] = r.Counter("dir.getM", "directory GetM") // want `registered inside a loop with constant name`
+	}
+	return getS
+}
+
+// newLoopClosure builds a per-core constructor closure in a loop; the
+// closure body is not flagged (it need not run once per iteration), and
+// calling it with a varying name is clean.
+func newLoopClosure(r *sim.Registry, cores int) []*sim.Counter {
+	out := make([]*sim.Counter, cores)
+	for i := range out {
+		mk := func(name string) *sim.Counter { return r.Counter(name, "per-core") }
+		out[i] = mk(fmt.Sprintf("core%d.invals", i))
+	}
+	return out
 }
 
 type dead struct{ s *sim.Scalar }

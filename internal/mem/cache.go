@@ -50,7 +50,11 @@ type cacheLine struct {
 	tag   uint32
 	valid bool
 	dirty bool
-	lru   uint64 // last-use sequence number
+	// excl is the coherence ownership bit: the line is held Exclusive or
+	// Modified, so stores need no directory upgrade. Always false when the
+	// cache has no coherence hooks attached.
+	excl bool
+	lru  uint64 // last-use sequence number
 }
 
 type mshr struct {
@@ -58,6 +62,13 @@ type mshr struct {
 	write     bool // any coalesced writer
 	waiters   []func()
 	prefetch  bool
+	// fillExcl records that the directory granted exclusive ownership for
+	// the outstanding fetch, so the fill installs the line with excl set.
+	fillExcl bool
+	// dropInstall is set when the directory invalidates the block while the
+	// fetch is still in flight: the fill completes its waiters but must not
+	// install the (stale) line.
+	dropInstall bool
 }
 
 type pendingReq struct {
@@ -74,6 +85,14 @@ type Cache struct {
 	sys  *sim.System
 	cfg  CacheConfig
 	next Port
+
+	// coh, when non-nil, makes the cache a coherent participant: line
+	// installs and evictions are reported so a directory can track
+	// presence, and stores to non-exclusive lines request an upgrade.
+	coh CoherenceHooks
+	// pendingExcl carries an exclusivity grant delivered during an atomic
+	// miss, where no MSHR exists to hold fillExcl.
+	pendingExcl bool
 
 	lines      []cacheLine // numSets × ways, set-major
 	numSets    uint32
@@ -230,12 +249,16 @@ func (c *Cache) traceTagProbe(addr uint32) {
 
 // fill installs addr's block, evicting the LRU victim. Dirty victims are
 // written back downstream. mode distinguishes timing from atomic traffic.
-func (c *Cache) fill(addr uint32, dirty bool, atomic bool) (wbLatency sim.Tick) {
+// excl installs the line with coherence ownership.
+func (c *Cache) fill(addr uint32, dirty bool, atomic bool, excl bool) (wbLatency sim.Tick) {
 	v := c.victim(addr)
+	set, _ := c.index(addr)
+	if v.valid && c.coh != nil {
+		c.coh.OnEvict((v.tag<<c.setBits|set)<<c.blockShift, v.dirty)
+	}
 	if v.valid && v.dirty {
 		c.writebacks.Inc()
 		c.sys.Tracer().Call(c.fnWriteback)
-		set, _ := c.index(addr)
 		wb := Access{
 			Addr:  (v.tag<<c.setBits | set) << c.blockShift,
 			Size:  uint8(c.cfg.BlockBytes),
@@ -251,8 +274,12 @@ func (c *Cache) fill(addr uint32, dirty bool, atomic bool) (wbLatency sim.Tick) 
 	v.tag = tag
 	v.valid = true
 	v.dirty = dirty
+	v.excl = excl || dirty
 	c.touch(v)
 	c.sys.Tracer().Call(c.fnFill)
+	if c.coh != nil {
+		c.coh.OnFill(blockAlign(addr, c.cfg.BlockBytes), v.excl)
+	}
 	return wbLatency
 }
 
@@ -267,16 +294,24 @@ func (c *Cache) AtomicLatency(acc Access) sim.Tick {
 	if l := c.lookup(acc.Addr); l != nil {
 		c.hits.Inc()
 		c.touch(l)
+		lat := c.cfg.HitLatency
 		if acc.Write {
+			if c.coh != nil && !l.excl {
+				lat += c.coh.OnWriteHit(blockAlign(acc.Addr, c.cfg.BlockBytes), true)
+				l.excl = true
+			}
 			l.dirty = true
 		}
-		return c.cfg.HitLatency
+		return lat
 	}
 	c.misses.Inc()
 	lat := c.cfg.HitLatency
-	fetch := Access{Addr: blockAlign(acc.Addr, c.cfg.BlockBytes), Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst}
+	fetch := Access{Addr: blockAlign(acc.Addr, c.cfg.BlockBytes), Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst, Excl: acc.Write}
+	c.pendingExcl = false
 	lat += c.next.AtomicLatency(fetch)
-	lat += c.fill(acc.Addr, acc.Write, true)
+	excl := c.pendingExcl
+	c.pendingExcl = false
+	lat += c.fill(acc.Addr, acc.Write, true, excl)
 	lat += c.cfg.ResponseLatency
 	return lat
 }
@@ -298,11 +333,19 @@ func (c *Cache) sendTiming(acc Access, done func()) {
 	if l := c.lookup(acc.Addr); l != nil {
 		c.hits.Inc()
 		c.touch(l)
+		lat := c.cfg.HitLatency
 		if acc.Write {
+			if c.coh != nil && !l.excl {
+				// Store to a Shared line: upgrade through the directory.
+				// The invalidation round trip is charged as a surcharge on
+				// this hit's response.
+				lat += c.coh.OnWriteHit(blockAlign(acc.Addr, c.cfg.BlockBytes), false)
+				l.excl = true
+			}
 			l.dirty = true
 		}
 		ev := sim.NewEvent(c.nameHitResp, c.fnAccess, done)
-		c.sys.ScheduleIn(ev, c.cfg.HitLatency)
+		c.sys.ScheduleIn(ev, lat)
 		return
 	}
 	c.startMiss(acc, done)
@@ -341,7 +384,7 @@ func (c *Cache) allocMSHR(acc Access, done func(), prefetch bool) {
 		m.waiters = append(m.waiters, done)
 	}
 	c.mshrs[block] = m
-	fetch := Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst}
+	fetch := Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Inst: acc.Inst, Excl: acc.Write}
 	c.sys.ScheduleIn(sim.NewEvent(c.nameMissFwd, c.fnAccess, func() {
 		c.next.SendTiming(fetch, func() { c.handleFill(m) })
 	}), c.cfg.HitLatency)
@@ -395,10 +438,26 @@ func (c *Cache) maybePrefetch(addr uint32, inst bool) {
 
 func (c *Cache) handleFill(m *mshr) {
 	delete(c.mshrs, m.blockAddr)
-	c.fill(m.blockAddr, m.write, false)
+	respLat := c.cfg.ResponseLatency
+	switch {
+	case m.dropInstall:
+		// The directory invalidated the block mid-flight: complete the
+		// waiters (data moved functionally at execute time) but do not
+		// install the stale line.
+		if c.coh != nil {
+			c.coh.OnDropInstall(m.blockAddr)
+		}
+	default:
+		if c.coh != nil && m.write && !m.fillExcl {
+			// A store coalesced into a read fetch after it was forwarded
+			// without write intent: upgrade before installing dirty.
+			respLat += c.coh.OnWriteHit(m.blockAddr, false)
+		}
+		c.fill(m.blockAddr, m.write, false, m.fillExcl)
+	}
 	for _, w := range m.waiters {
 		ev := sim.NewEvent(c.nameFill, c.fnFill, w)
-		c.sys.ScheduleIn(ev, c.cfg.ResponseLatency)
+		c.sys.ScheduleIn(ev, respLat)
 	}
 	// Service a queued request now that an MSHR is free. The re-probe
 	// must not recount the access: it was counted when it first entered.
@@ -412,3 +471,104 @@ func (c *Cache) handleFill(m *mshr) {
 
 // OutstandingMisses returns the number of allocated MSHRs (tests).
 func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// CoherenceHooks receives line-lifetime notifications from a coherent cache
+// and answers its ownership upgrades. Implemented by the per-core ports of
+// a Directory; a cache with no hooks attached behaves classically.
+type CoherenceHooks interface {
+	// OnFill reports that block was installed, with or without ownership.
+	OnFill(block uint32, excl bool)
+	// OnEvict reports that block left the cache (clean or dirty).
+	OnEvict(block uint32, dirty bool)
+	// OnWriteHit requests ownership for a store to a non-exclusive block
+	// and returns the invalidation latency to charge the store. atomic
+	// selects how forced writebacks at other cores travel downstream.
+	OnWriteHit(block uint32, atomic bool) sim.Tick
+	// OnDropInstall reports that an invalidated in-flight fetch completed
+	// without installing.
+	OnDropInstall(block uint32)
+}
+
+// AttachCoherence makes the cache a coherent participant reporting to h.
+// Must be called before any traffic.
+func (c *Cache) AttachCoherence(h CoherenceHooks) { c.coh = h }
+
+// Invalidate removes block (block-aligned) from the cache on behalf of a
+// coherence directory, writing a dirty copy back downstream. An outstanding
+// fetch of the block is marked to complete without installing. It returns
+// whether a valid line was actually dropped, and in atomic mode the
+// writeback latency to charge the requester that forced the invalidation.
+func (c *Cache) Invalidate(block uint32, atomic bool) (hadLine bool, lat sim.Tick) {
+	if m, ok := c.mshrs[block]; ok {
+		m.dropInstall = true
+		m.fillExcl = false
+	}
+	l := c.lookup(block)
+	if l == nil {
+		return false, 0
+	}
+	if l.dirty {
+		lat = c.writebackFor(block, atomic)
+	}
+	l.valid, l.dirty, l.excl = false, false, false
+	return true, lat
+}
+
+// Downgrade strips ownership of block (block-aligned) so another core can
+// share it, writing a dirty copy back downstream. It returns whether the
+// cache actually held the block exclusively.
+func (c *Cache) Downgrade(block uint32, atomic bool) (hadExcl bool, lat sim.Tick) {
+	if m, ok := c.mshrs[block]; ok && m.fillExcl {
+		m.fillExcl = false
+		hadExcl = true
+	}
+	l := c.lookup(block)
+	if l == nil {
+		return hadExcl, 0
+	}
+	hadExcl = hadExcl || l.excl
+	if l.dirty {
+		lat = c.writebackFor(block, atomic)
+		l.dirty = false
+	}
+	l.excl = false
+	return hadExcl, lat
+}
+
+// GrantExclusive records a directory's ownership grant for the fetch of
+// block currently in flight (timing: its MSHR; atomic: the synchronous
+// miss in progress).
+func (c *Cache) GrantExclusive(block uint32) {
+	if m, ok := c.mshrs[block]; ok {
+		m.fillExcl = true
+		return
+	}
+	c.pendingExcl = true
+}
+
+// VisitLines calls f for every valid line, in storage (set-then-way) order,
+// reporting its block address and coherence state. The conformance audits
+// use it to cross-check the cache contents against the directory.
+func (c *Cache) VisitLines(f func(block uint32, dirty, excl bool)) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		set := uint32(i) / c.ways
+		f((l.tag<<c.setBits|set)<<c.blockShift, l.dirty, l.excl)
+	}
+}
+
+// writebackFor pushes one full block downstream as a coherence-forced
+// writeback and returns its latency in atomic mode.
+func (c *Cache) writebackFor(block uint32, atomic bool) sim.Tick {
+	c.writebacks.Inc()
+	c.sys.Tracer().Call(c.fnWriteback)
+	wb := Access{Addr: block, Size: uint8(c.cfg.BlockBytes), Write: true}
+	if atomic {
+		return c.next.AtomicLatency(wb)
+	}
+	c.next.SendTiming(wb, nil)
+	return 0
+}

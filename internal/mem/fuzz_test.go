@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gem5prof/internal/sim"
+)
+
+// coherenceScript decodes a fuzz input into a deterministic access script
+// against a multicore hierarchy with the directory enabled, runs it to
+// quiescence, and returns the final stat dump plus every invariant
+// violation. The address pool is 16 blocks across 4 cache sets, small
+// enough that the script forces heavy sharing, upgrades, downgrades,
+// evictions, and in-flight invalidations.
+func coherenceScript(data []byte) (dump string, violations []string) {
+	if len(data) < 2 {
+		return "", nil
+	}
+	cores := 2 + int(data[0])%3
+	atomic := data[0]&0x80 != 0
+	script := data[1:]
+
+	sys := sim.NewSystem(7)
+	hcfg := DefaultHierarchyConfig("sys")
+	hcfg.Directory = true
+	h := NewMultiHierarchy(sys, hcfg, cores)
+
+	decode := func(i int) (core int, acc Access) {
+		b1, b2 := script[2*i], script[2*i+1]
+		return int(b1) % cores, Access{
+			Addr:  0x8000 + uint32(b2%16)*hcfg.L1D.BlockBytes,
+			Size:  4,
+			Write: b1&0x40 != 0,
+		}
+	}
+	n := len(script) / 2
+	if atomic {
+		// The atomic path resolves every access synchronously inside one
+		// event, the way an AtomicSimpleCPU guest drives the hierarchy.
+		ev := sim.NewEvent("fuzz.atomic", 0, func() {
+			for i := 0; i < n; i++ {
+				core, acc := decode(i)
+				h.DPort(core).AtomicLatency(acc)
+			}
+		})
+		sys.ScheduleIn(ev, sim.Nanosecond)
+	} else {
+		// The timing path issues one access per nanosecond so fetches
+		// overlap: conflicting requests queue at the busy directory entry
+		// and invalidations land on in-flight MSHRs.
+		for i := 0; i < n; i++ {
+			i := i
+			ev := sim.NewEvent(fmt.Sprintf("fuzz.acc%d", i), 0, func() {
+				core, acc := decode(i)
+				h.DPort(core).SendTiming(acc, nil)
+			})
+			sys.ScheduleIn(ev, sim.Tick(i+1)*sim.Nanosecond)
+		}
+	}
+	res := sys.Run(sim.Second, 10_000_000)
+	if res.Status != sim.ExitQueueEmpty {
+		violations = append(violations, fmt.Sprintf("script did not drain: %v", res.Status))
+	}
+
+	violations = append(violations, h.Dir.Audit()...)
+
+	// Drained conservation: every forwarded fetch is exactly one tracked
+	// copy, eviction, invalidation, or dropped install.
+	st := sys.Stats()
+	get := func(leaf string) float64 { return st.Get(hcfg.Dir.Name + "." + leaf) }
+	fetches := get("getS") + get("getM")
+	resolved := get("putS") + get("putM") + get("invals") + get("droppedFills") + get("tracked")
+	if fetches != resolved {
+		violations = append(violations, fmt.Sprintf(
+			"conservation: getS+getM = %.0f != putS+putM+invals+droppedFills+tracked = %.0f",
+			fetches, resolved))
+	}
+
+	var b strings.Builder
+	for _, name := range st.Names() {
+		fmt.Fprintf(&b, "%s = %v\n", name, st.Get(name))
+	}
+	return b.String(), violations
+}
+
+// FuzzCoherence lets the fuzzer drive the directory protocol directly with
+// adversarial access scripts: any structural audit failure, conservation
+// break, stuck script, or run-to-run nondeterminism is a crasher. The
+// corpus under testdata/fuzz/FuzzCoherence replays during plain `go test`
+// as a regression suite.
+func FuzzCoherence(f *testing.F) {
+	f.Add([]byte{2, 0x00, 0x01, 0x40, 0x01, 0x01, 0x02, 0x41, 0x02})
+	f.Add([]byte{3, 0x42, 0x05, 0x00, 0x05, 0x41, 0x05, 0x43, 0x05, 0x01, 0x05})
+	f.Add([]byte{0x84, 0x40, 0x00, 0x01, 0x00, 0x42, 0x00, 0x03, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		dump, violations := coherenceScript(data)
+		for _, v := range violations {
+			t.Error(v)
+		}
+		again, _ := coherenceScript(data)
+		if dump != again {
+			t.Error("same script produced different stat dumps across runs")
+		}
+	})
+}

@@ -17,6 +17,12 @@ type HierarchyConfig struct {
 	GuestTLBs bool
 	ITB       TLBConfig
 	DTB       TLBConfig
+	// Directory inserts a MESI-style directory controller between the
+	// per-core L1 data caches and the shared L2. Only meaningful for
+	// NewMultiHierarchy with more than one core; off by default so the
+	// single-core memory system (and its statistics) is untouched.
+	Directory bool
+	Dir       DirectoryConfig
 }
 
 // DefaultHierarchyConfig mirrors the gem5 ARM defaults used by the paper's
@@ -57,6 +63,11 @@ func DefaultHierarchyConfig(prefix string) HierarchyConfig {
 			TicksPerByte: 16,
 		},
 		DRAM: DefaultDDR4(prefix + ".dram"),
+		Dir: DirectoryConfig{
+			Name:              prefix + ".dir",
+			LookupLatency:     4 * sim.Nanosecond,
+			InvalidateLatency: 6 * sim.Nanosecond,
+		},
 		ITB: TLBConfig{
 			Name:        prefix + ".itb",
 			Entries:     48,

@@ -14,6 +14,9 @@ type MultiHierarchy struct {
 	// ITB/DTB are per-core guest TLBs (nil entries when disabled).
 	ITB  []*TLB
 	DTB  []*TLB
+	// Dir is the MESI directory between the L1Ds and the L2; nil unless
+	// HierarchyConfig.Directory was set with more than one core.
+	Dir  *Directory
 	L2   *Cache
 	Bus  *Bus
 	DRAM *DRAM
@@ -45,13 +48,22 @@ func NewMultiHierarchy(sys *sim.System, cfg HierarchyConfig, n int) *MultiHierar
 	h.DRAM = NewDRAM(sys.DomainView(sim.DomainMem), cfg.DRAM)
 	h.Bus = NewBus(sys, cfg.Bus, h.DRAM)
 	h.L2 = NewCache(sys, cfg.L2, h.Bus)
+	if cfg.Directory && n > 1 {
+		h.Dir = NewDirectory(sys, cfg.Dir, h.L2, n)
+	}
 	for i := 0; i < n; i++ {
 		l1i := cfg.L1I
 		l1i.Name = fmt.Sprintf("%s%d", cfg.L1I.Name, i)
 		l1d := cfg.L1D
 		l1d.Name = fmt.Sprintf("%s%d", cfg.L1D.Name, i)
+		// Instruction caches bypass the directory: KISA code is read-only.
 		h.L1I = append(h.L1I, NewCache(sys, l1i, h.L2))
-		h.L1D = append(h.L1D, NewCache(sys, l1d, h.L2))
+		if h.Dir != nil {
+			h.L1D = append(h.L1D, NewCache(sys, l1d, h.Dir.Port(i)))
+			h.Dir.Attach(i, h.L1D[i])
+		} else {
+			h.L1D = append(h.L1D, NewCache(sys, l1d, h.L2))
+		}
 		if cfg.GuestTLBs {
 			itb := cfg.ITB
 			itb.Name = fmt.Sprintf("%s%d", cfg.ITB.Name, i)

@@ -19,6 +19,10 @@ type Access struct {
 	Write bool
 	// Inst is true for instruction fetches.
 	Inst bool
+	// Excl marks a miss fetch that carries write intent: the requester
+	// wants the block in an exclusive (writable) state. Only a coherence
+	// directory interprets it; plain hierarchy levels ignore the flag.
+	Excl bool
 }
 
 // Port is one level of the timing memory hierarchy.

@@ -25,8 +25,21 @@ const (
 	// with the CPUs at zero latency (MMIO, interrupt wires), so their
 	// shard is always fused with DomainCPU.
 	DomainDev
+	// DomainCore1..DomainCore3 tag the private events of guest cores 1..3
+	// in a multicore guest (core 0 stays DomainCPU, which also covers the
+	// shared memory-side complex the cores reach synchronously). Like
+	// DomainDev, the core domains are fused onto the coordinator shard in
+	// the current layout: cores couple at zero latency through the syscall
+	// threading surface (spawn/join/futex wake mutate a sibling core
+	// directly) and at L1 latency through the coherence directory, so no
+	// conservative quantum separating them would be both safe and
+	// worthwhile. The tags still route through the engine's layout, so a
+	// future layout can split them without touching the core models.
+	DomainCore1
+	DomainCore2
+	DomainCore3
 	// NumDomains is the number of simulation domains.
-	NumDomains = 3
+	NumDomains = 6
 )
 
 func (d Domain) String() string {
@@ -37,8 +50,24 @@ func (d Domain) String() string {
 		return "mem"
 	case DomainDev:
 		return "dev"
+	case DomainCore1, DomainCore2, DomainCore3:
+		return fmt.Sprintf("cpu%d", 1+uint8(d-DomainCore1))
 	}
 	return fmt.Sprintf("Domain(%d)", uint8(d))
+}
+
+// DomainForCore returns the domain tagging guest core i's private events:
+// DomainCPU for core 0 and DomainCore1..DomainCore3 for cores 1..3. Cores
+// past 3 fold onto DomainCore3 — still correct under any layout (a domain
+// may hold any number of SimObjects), merely coarser.
+func DomainForCore(i int) Domain {
+	switch {
+	case i <= 0:
+		return DomainCPU
+	case i >= 3:
+		return DomainCore3
+	}
+	return DomainCore1 + Domain(i-1)
 }
 
 // QuantumFor derives the conservative barrier quantum from the minimum

@@ -286,6 +286,11 @@ func (s *System) EnableSharding(cfg ShardConfig) {
 	eng := &shardEngine{
 		quantum: cfg.Quantum,
 		under:   s.tracer,
+		// The per-core domains (DomainCore1..3) fuse onto the coordinator
+		// shard with DomainCPU and DomainDev — their zero value in this
+		// array — because guest cores couple at zero latency through the
+		// threading syscalls; only DomainMem sits behind a latency floor
+		// wide enough for a conservative quantum.
 		layout:  [NumDomains]int{DomainCPU: 0, DomainMem: 1, DomainDev: 0},
 		log:     [2]*shardLog{newShardLog(0), newShardLog(1)},
 	}

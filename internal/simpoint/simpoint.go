@@ -167,6 +167,9 @@ func RunSampled(sc core.SessionConfig, cfg Config) (*Result, error) {
 	if sc.Profile {
 		return nil, fmt.Errorf("simpoint: sampled mode cannot host the function profiler (its report would cover only representative intervals)")
 	}
+	if sc.Guest.Cores > 1 {
+		return nil, fmt.Errorf("simpoint: sampled mode is single-core only (BBV profiles and checkpoints capture one architectural thread); run the multicore guest full-length")
+	}
 	cfg = cfg.withDefaults()
 	gc := sc.Guest.Normalized()
 	prefix := ConfigPrefix(gc)

@@ -40,6 +40,10 @@ type SEEnv struct {
 	fnSyscall sim.FuncID
 
 	numWrites *sim.Counter
+
+	// threads is the multicore syscall surface; nil until AttachCores is
+	// called with more than one core, so single-core guests are untouched.
+	threads *threadState
 }
 
 // NewSEEnv builds an SE environment over the guest memory. brkBase is the
@@ -130,6 +134,10 @@ func (e *SEEnv) Ecall(c *cpu.Core) {
 
 	case SysGetPID:
 		c.WriteReg(10, 1)
+
+	case SysSpawn, SysJoin, SysThreadExit, SysFutexWait, SysFutexWake,
+		SysAtomicAdd, SysAtomicCAS, SysNumCores:
+		c.WriteReg(10, e.threadCall(c, num, a0, a1, a2))
 
 	default:
 		c.WriteReg(10, ^uint32(37)) // -ENOSYS

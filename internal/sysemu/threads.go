@@ -1,0 +1,237 @@
+package sysemu
+
+import (
+	"gem5prof/internal/cpu"
+	"gem5prof/internal/sim"
+)
+
+// Threading syscall numbers (a7) of the SE-mode multicore surface. They sit
+// outside the RISC-V Linux range so the Linux-convention calls above keep
+// their numbers. The surface is a deliberately minimal clone/futex
+// analogue: KISA has no atomic memory instructions, so cross-thread
+// synchronization is expressed as syscalls, each serviced atomically within
+// one simulator event (the calling core's ecall) — which is what makes the
+// whole multicore guest sequentially consistent by construction.
+const (
+	// SysSpawn starts a secondary core: a0 = entry pc, a1 = stack top,
+	// a2 = argument (lands in the child's a0). Returns the child hart id,
+	// or -EAGAIN when every secondary core is busy.
+	SysSpawn = 1001
+	// SysJoin blocks until hart a0 calls SysThreadExit and returns its
+	// result value. Joining an unspawned hart or self returns -EINVAL.
+	SysJoin = 1002
+	// SysThreadExit ends the calling secondary thread with result a0,
+	// waking every joiner. The core parks and becomes spawnable again.
+	SysThreadExit = 1003
+	// SysFutexWait blocks while word [a0] still holds the expected value
+	// a1 (-EAGAIN when it already differs), until a SysFutexWake on a0.
+	SysFutexWait = 1004
+	// SysFutexWake wakes up to a1 waiters parked on word [a0] in FIFO
+	// order and returns how many it woke.
+	SysFutexWake = 1005
+	// SysAtomicAdd atomically adds a1 to word [a0] and returns the old
+	// value.
+	SysAtomicAdd = 1006
+	// SysAtomicCAS compares word [a0] with a1 and, on match, stores a2.
+	// Returns the old value either way.
+	SysAtomicCAS = 1007
+	// SysNumCores returns the guest core count.
+	SysNumCores = 1008
+)
+
+// threadState is the SE environment's threading bookkeeping: which harts
+// run, who waits on whom, and the futex wait queues. All queues are FIFO in
+// arrival order, which is deterministic because syscalls execute in event
+// order.
+type threadState struct {
+	cores   []*cpu.Core
+	started []bool
+	done    []bool
+	result  []uint32
+	joiners [][]int          // per target hart: harts parked in SysJoin
+	futex   map[uint32][]int // word address -> parked harts, FIFO
+
+	spawns     *sim.Counter
+	joins      *sim.Counter
+	futexWaits *sim.Counter
+	futexWakes *sim.Counter
+	atomics    *sim.Counter
+}
+
+// AttachCores hands the SE environment the guest's cores, enabling the
+// threading syscall surface. Secondary cores must already be parked (the
+// guest builder parks them before the simulation starts). With one core
+// the surface stays dormant and nothing is registered, so a single-core
+// guest's statistics are bit-identical to the pre-multicore builds.
+func (e *SEEnv) AttachCores(cores []*cpu.Core) {
+	if len(cores) < 2 {
+		return
+	}
+	e.threads = newThreadState(e.sys.Stats(), cores)
+}
+
+// newThreadState builds the threading bookkeeping and registers its stats.
+func newThreadState(st *sim.Registry, cores []*cpu.Core) *threadState {
+	t := &threadState{
+		cores:   cores,
+		started: make([]bool, len(cores)),
+		done:    make([]bool, len(cores)),
+		result:  make([]uint32, len(cores)),
+		joiners: make([][]int, len(cores)),
+		futex:   make(map[uint32][]int),
+	}
+	t.started[0] = true // hart 0 is the main thread
+	t.spawns = st.Counter("se.threads.spawns", "secondary threads spawned")
+	t.joins = st.Counter("se.threads.joins", "joins completed")
+	t.futexWaits = st.Counter("se.threads.futexWaits", "futex waits parked")
+	t.futexWakes = st.Counter("se.threads.futexWakes", "futex waiters woken")
+	t.atomics = st.Counter("se.threads.atomics", "atomic add/CAS syscalls")
+	return t
+}
+
+// NumCores returns the attached core count (1 when threading is dormant).
+func (e *SEEnv) NumCores() uint32 {
+	if e.threads == nil {
+		return 1
+	}
+	return uint32(len(e.threads.cores))
+}
+
+// threadCall services one threading syscall. It returns the value for the
+// caller's a0; calls that park the caller have already written a0 (the
+// caller's pc has advanced past the ecall by unwind time, so the parked
+// core resumes right after it).
+func (e *SEEnv) threadCall(c *cpu.Core, num, a0, a1, a2 uint32) uint32 {
+	const (
+		errAGAIN = ^uint32(10) // -EAGAIN
+		errINVAL = ^uint32(21) // -EINVAL
+		errFAULT = ^uint32(13) // -EFAULT
+	)
+	// The surface degrades gracefully on a single core (t == nil): the
+	// atomics still perform their update (they are trivially atomic),
+	// NumCores reports 1, wake has nobody to wake, a wait that would park
+	// returns -EAGAIN (nobody could ever wake it), and spawn/join/exit
+	// report no cores to run on — so the mt-suite workloads run unchanged
+	// at every core count.
+	t := e.threads
+	self := int(c.HartID())
+	switch num {
+	case SysNumCores:
+		return e.NumCores()
+
+	case SysAtomicAdd:
+		v, err := e.mem.Read(a0, 4)
+		if err != nil {
+			return errFAULT
+		}
+		if err := e.mem.Write(a0, 4, uint64(uint32(v)+a1)); err != nil {
+			return errFAULT
+		}
+		if t != nil {
+			t.atomics.Inc()
+		}
+		return uint32(v)
+
+	case SysAtomicCAS:
+		v, err := e.mem.Read(a0, 4)
+		if err != nil {
+			return errFAULT
+		}
+		if uint32(v) == a1 {
+			if err := e.mem.Write(a0, 4, uint64(a2)); err != nil {
+				return errFAULT
+			}
+		}
+		if t != nil {
+			t.atomics.Inc()
+		}
+		return uint32(v)
+
+	case SysFutexWait:
+		v, err := e.mem.Read(a0, 4)
+		if err != nil {
+			return errFAULT
+		}
+		if uint32(v) != a1 || t == nil {
+			return errAGAIN
+		}
+		t.futex[a0] = append(t.futex[a0], self)
+		t.futexWaits.Inc()
+		c.Park()
+		return 0
+
+	case SysFutexWake:
+		if t == nil {
+			return 0
+		}
+		q := t.futex[a0]
+		n := uint32(0)
+		for len(q) > 0 && n < a1 {
+			w := q[0]
+			q = q[1:]
+			t.cores[w].Unpark()
+			t.futexWakes.Inc()
+			n++
+		}
+		if len(q) == 0 {
+			delete(t.futex, a0)
+		} else {
+			t.futex[a0] = q
+		}
+		return n
+	}
+	if t == nil {
+		if num == SysSpawn {
+			return errAGAIN // no secondary cores to run on
+		}
+		return errINVAL
+	}
+	switch num {
+	case SysSpawn:
+		for i := 1; i < len(t.cores); i++ {
+			if t.started[i] && !t.done[i] {
+				continue
+			}
+			t.started[i], t.done[i] = true, false
+			child := t.cores[i]
+			child.WriteReg(2, a1)  // sp
+			child.WriteReg(10, a2) // argument
+			child.SetPC(a0)
+			child.Unpark()
+			t.spawns.Inc()
+			return uint32(i)
+		}
+		return errAGAIN
+
+	case SysJoin:
+		target := int(a0)
+		if target == self || target <= 0 || target >= len(t.cores) || !t.started[target] {
+			return errINVAL
+		}
+		if t.done[target] {
+			t.joins.Inc()
+			return t.result[target]
+		}
+		t.joiners[target] = append(t.joiners[target], self)
+		c.Park()
+		return 0 // overwritten by SysThreadExit's wake
+
+	case SysThreadExit:
+		if self == 0 {
+			return errINVAL // the main thread exits via SysExit
+		}
+		t.done[self] = true
+		t.result[self] = a0
+		for _, j := range t.joiners[self] {
+			jc := t.cores[j]
+			jc.WriteReg(10, a0)
+			jc.Unpark()
+			t.joins.Inc()
+		}
+		t.joiners[self] = nil
+		c.Park()
+		return a0 // the parked core never observes this
+
+	}
+	return ^uint32(37) // -ENOSYS
+}

@@ -1,0 +1,389 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5prof/internal/isa"
+)
+
+// The "mt" suite holds multi-threaded variants of the kernels, written
+// against the SE threading syscall surface (internal/sysemu): the program
+// reads the guest core count with SysNumCores, spawns one worker per
+// secondary core with SysSpawn, partitions the iteration space, and joins
+// the workers with SysJoin. The combination step is associative, so the
+// checksum is core-count-independent: the same Spec runs (and verifies)
+// on one core or many. The suite is deliberately distinct from
+// parsec/splash2x so PARSEC() figure sweeps are unchanged.
+func init() {
+	register(Spec{
+		Name:         "dotprod_mt",
+		Suite:        "mt",
+		DefaultScale: 2048,
+		Build:        buildDotprodMT,
+	})
+	register(Spec{
+		Name:         "histogram_mt",
+		Suite:        "mt",
+		DefaultScale: 4096,
+		Build:        buildHistogramMT,
+	})
+}
+
+// mtStackStride spaces the per-thread stacks below StackTop.
+const mtStackStride = 0x8000
+
+// buildDotprodMT is a parallel integer dot product: main generates two
+// length-scale vectors, workers sum chunk products mod 2^32 and return
+// their partials through SysThreadExit; main adds its own chunk, the
+// remainder tail, and the joined partials.
+func buildDotprodMT(scale int) (*isa.Program, uint32, error) {
+	if scale < 64 {
+		return nil, 0, fmt.Errorf("workloads: dotprod_mt scale %d too small", scale)
+	}
+	src := prologue() + fmt.Sprintf(`
+	# generate a[i], b[i]
+	la   s0, vecA
+	la   s1, vecB
+	li   s3, %d          # N
+	li   t1, 911         # lcg
+	li   t0, 0
+gen:
+`+lcgAsm("t1", "t2")+`
+	slli t4, t0, 2
+	add  t5, t4, s0
+	sw   t1, 0(t5)
+`+lcgAsm("t1", "t2")+`
+	add  t5, t4, s1
+	sw   t1, 0(t5)
+	addi t0, t0, 1
+	blt  t0, s3, gen
+
+	li   a7, 1008        # SysNumCores
+	ecall
+	mv   s4, a0          # nc
+	divu s5, s3, s4      # chunk = N / nc
+	la   t0, gchunk
+	sw   s5, 0(t0)
+
+	# spawn workers t = 1..nc-1
+	li   s6, 1
+spawn:
+	bge  s6, s4, spawned
+	la   a0, worker
+	li   t0, %#x         # StackTop
+	li   t2, %#x         # stack stride
+	mul  t3, s6, t2
+	sub  a1, t0, t3
+	mv   a2, s6          # arg: thread index
+	li   a7, 1001        # SysSpawn
+	ecall
+	la   t0, harts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	sw   a0, 0(t0)
+	addi s6, s6, 1
+	j    spawn
+spawned:
+
+	# main: chunk 0 plus the remainder tail [chunk*nc, N)
+	li   s7, 0           # acc
+	li   t0, 0
+	mv   t1, s5
+mloop:
+	bge  t0, t1, mdone
+	slli t2, t0, 2
+	add  t3, t2, s0
+	lw   t4, 0(t3)
+	add  t3, t2, s1
+	lw   t5, 0(t3)
+	mul  t4, t4, t5
+	add  s7, s7, t4
+	addi t0, t0, 1
+	j    mloop
+mdone:
+	mul  t0, s5, s4      # tail start
+	mv   t1, s3
+mloopt:
+	bge  t0, t1, joinw
+	slli t2, t0, 2
+	add  t3, t2, s0
+	lw   t4, 0(t3)
+	add  t3, t2, s1
+	lw   t5, 0(t3)
+	mul  t4, t4, t5
+	add  s7, s7, t4
+	addi t0, t0, 1
+	j    mloopt
+
+	# join workers, folding their partials
+joinw:
+	li   s6, 1
+jloop:
+	bge  s6, s4, jdone
+	la   t0, harts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	lw   a0, 0(t0)
+	li   a7, 1002        # SysJoin
+	ecall
+	add  s7, s7, a0
+	addi s6, s6, 1
+	j    jloop
+jdone:
+	mv   a0, s7
+`, scale, StackTop, mtStackStride) + epilogue() + `
+worker:                  # a0 = thread index
+	mv   t6, a0
+	la   t0, gchunk
+	lw   s5, 0(t0)
+	la   s0, vecA
+	la   s1, vecB
+	mul  t0, t6, s5      # start
+	add  t1, t0, s5      # end
+	li   s7, 0
+wsum:
+	bge  t0, t1, wdone
+	slli t2, t0, 2
+	add  t3, t2, s0
+	lw   t4, 0(t3)
+	add  t3, t2, s1
+	lw   t5, 0(t3)
+	mul  t4, t4, t5
+	add  s7, s7, t4
+	addi t0, t0, 1
+	j    wsum
+wdone:
+	mv   a0, s7
+	li   a7, 1003        # SysThreadExit
+	ecall
+` + fmt.Sprintf(`
+	.align 64
+gchunk:
+	.space 4
+harts:
+	.space 64
+vecA:
+	.space %d
+vecB:
+	.space %d
+`, 4*scale, 4*scale)
+
+	p, err := mustBuild("dotprod_mt", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, dotprodMTRef(scale), nil
+}
+
+// dotprodMTRef mirrors the guest: two LCG streams interleaved per index,
+// full dot product mod 2^32 — partitioning cannot change it.
+func dotprodMTRef(n int) uint32 {
+	s := uint32(911)
+	var acc uint32
+	for i := 0; i < n; i++ {
+		s = lcgNext(s)
+		a := s
+		s = lcgNext(s)
+		acc += a * s
+	}
+	return acc
+}
+
+// buildHistogramMT is a parallel 16-bucket byte histogram: workers gate on
+// a futex until main releases them, count their chunk into a private
+// histogram, then merge it into the shared one with SysAtomicAdd. Main
+// folds the shared histogram into the checksum after joining everyone.
+func buildHistogramMT(scale int) (*isa.Program, uint32, error) {
+	if scale < 64 {
+		return nil, 0, fmt.Errorf("workloads: histogram_mt scale %d too small", scale)
+	}
+	// Main's counting loop and the worker's are the same code shape; main
+	// runs it twice (chunk 0, then the remainder tail).
+	count := func(label string) string {
+		return fmt.Sprintf(`
+%[1]s:
+	bge  t0, t1, %[1]s_x
+	add  t2, t0, s0
+	lbu  t3, 0(t2)
+	srli t3, t3, 4       # bucket
+	slli t3, t3, 2
+	add  t3, t3, s8
+	lw   t4, 0(t3)
+	addi t4, t4, 1
+	sw   t4, 0(t3)
+	addi t0, t0, 1
+	j    %[1]s
+%[1]s_x:
+`, label)
+	}
+	src := prologue() + fmt.Sprintf(`
+	la   s0, hdata
+	li   s3, %d          # N
+	li   t1, 1337        # lcg
+	li   t0, 0
+hgen:
+`+lcgAsm("t1", "t2")+`
+	srli t3, t1, 24
+	add  t4, t0, s0
+	sb   t3, 0(t4)
+	addi t0, t0, 1
+	blt  t0, s3, hgen
+
+	li   a7, 1008        # SysNumCores
+	ecall
+	mv   s4, a0
+	divu s5, s3, s4      # chunk
+	la   t0, hchunk
+	sw   s5, 0(t0)
+
+	li   s6, 1
+hspawn:
+	bge  s6, s4, hspawned
+	la   a0, hworker
+	li   t0, %#x
+	li   t2, %#x
+	mul  t3, s6, t2
+	sub  a1, t0, t3
+	mv   a2, s6
+	li   a7, 1001        # SysSpawn
+	ecall
+	la   t0, hharts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	sw   a0, 0(t0)
+	addi s6, s6, 1
+	j    hspawn
+hspawned:
+	# open the start gate and wake every waiter
+	la   a0, hgate
+	li   t1, 1
+	sw   t1, 0(a0)
+	li   a1, 64
+	li   a7, 1005        # SysFutexWake
+	ecall
+
+	# main counts chunk 0 into private area 0, then the tail
+	la   s8, hpriv
+	li   t0, 0
+	mv   t1, s5
+`, scale, StackTop, mtStackStride) + count("hmain") + `
+	mul  t0, s5, s4
+	mv   t1, s3
+` + count("htail") + `
+	# merge private 0 into the shared histogram
+	li   t0, 0
+	la   t5, hhist
+hmrg:
+	slli t2, t0, 2
+	add  t3, t2, s8
+	lw   a1, 0(t3)
+	add  a0, t2, t5
+	li   a7, 1006        # SysAtomicAdd
+	ecall
+	addi t0, t0, 1
+	li   t3, 16
+	blt  t0, t3, hmrg
+
+	# join workers
+	li   s6, 1
+hjoin:
+	bge  s6, s4, hfold
+	la   t0, hharts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	lw   a0, 0(t0)
+	li   a7, 1002        # SysJoin
+	ecall
+	addi s6, s6, 1
+	j    hjoin
+
+	# checksum = sum hist[b]*(b+1)
+hfold:
+	la   t0, hhist
+	li   t1, 0
+	li   s7, 0
+hfl:
+	slli t2, t1, 2
+	add  t3, t2, t0
+	lw   t4, 0(t3)
+	addi t5, t1, 1
+	mul  t4, t4, t5
+	add  s7, s7, t4
+	addi t1, t1, 1
+	li   t5, 16
+	blt  t1, t5, hfl
+	mv   a0, s7
+` + epilogue() + `
+hworker:                 # a0 = thread index
+	mv   t6, a0
+hwait:
+	la   a0, hgate
+	lw   t0, 0(a0)
+	bne  t0, x0, hgo
+	li   a1, 0
+	li   a7, 1004        # SysFutexWait
+	ecall
+	j    hwait
+hgo:
+	la   t0, hchunk
+	lw   s5, 0(t0)
+	la   s0, hdata
+	la   s8, hpriv
+	slli t2, t6, 6       # 16 words per thread
+	add  s8, s8, t2
+	mul  t0, t6, s5
+	add  t1, t0, s5
+` + count("hwcnt") + `
+	li   t0, 0
+	la   t5, hhist
+hwm:
+	slli t2, t0, 2
+	add  t3, t2, s8
+	lw   a1, 0(t3)
+	add  a0, t2, t5
+	li   a7, 1006        # SysAtomicAdd
+	ecall
+	addi t0, t0, 1
+	li   t3, 16
+	blt  t0, t3, hwm
+	li   a0, 0
+	li   a7, 1003        # SysThreadExit
+	ecall
+` + fmt.Sprintf(`
+	.align 64
+hchunk:
+	.space 4
+hgate:
+	.space 4
+hharts:
+	.space 64
+hhist:
+	.space 64
+hpriv:
+	.space 1024
+hdata:
+	.space %d
+`, scale)
+
+	p, err := mustBuild("histogram_mt", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, histogramMTRef(scale), nil
+}
+
+// histogramMTRef mirrors the guest: LCG top-byte stream, 16 buckets,
+// weighted fold — the merge order cannot change it.
+func histogramMTRef(n int) uint32 {
+	var hist [16]uint32
+	s := uint32(1337)
+	for i := 0; i < n; i++ {
+		s = lcgNext(s)
+		hist[(s>>24)>>4]++
+	}
+	var acc uint32
+	for b, c := range hist {
+		acc += c * uint32(b+1)
+	}
+	return acc
+}

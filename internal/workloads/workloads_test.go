@@ -11,8 +11,9 @@ import (
 func TestRegistry(t *testing.T) {
 	names := workloads.Names()
 	want := []string{
-		"blackscholes", "canneal", "dedup", "fmm", "ocean_cp", "ocean_ncp",
-		"sieve", "streamcluster", "water_nsquared", "water_spatial",
+		"blackscholes", "canneal", "dedup", "dotprod_mt", "fmm",
+		"histogram_mt", "ocean_cp", "ocean_ncp", "sieve", "streamcluster",
+		"water_nsquared", "water_spatial",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
