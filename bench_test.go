@@ -146,12 +146,12 @@ func BenchmarkFig16_MulticoreScaling(b *testing.B) {
 // guest core count, reporting the simulated ticks the run took: the
 // before/after pair below records what directory coherence costs the host
 // (ns/op) and buys the guest (sim-ticks shrink with cores).
-func benchGuestMT(b *testing.B, cores int) {
+func benchGuestMT(b *testing.B, cores int, shards gem5prof.ShardMode) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		res, err := gem5prof.RunGuest(gem5prof.GuestConfig{
 			CPU: gem5prof.Timing, Workload: "dotprod_mt", Scale: 16384,
-			Cores: cores,
+			Cores: cores, Shards: shards,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -169,8 +169,18 @@ func benchGuestMT(b *testing.B, cores int) {
 // threading stats) versus a 4-core guest with per-core L1s behind the MESI
 // directory. The host pays for four cores' events plus coherence traffic;
 // the guest's simulated time drops.
-func BenchmarkGuestMTSerial(b *testing.B) { benchGuestMT(b, 1) }
-func BenchmarkGuestMTQuad(b *testing.B)   { benchGuestMT(b, 4) }
+func BenchmarkGuestMTSerial(b *testing.B) { benchGuestMT(b, 1, gem5prof.ShardSerial) }
+func BenchmarkGuestMTQuad(b *testing.B)   { benchGuestMT(b, 4, gem5prof.ShardSerial) }
+
+// BenchmarkGuestMTQuadSharded is the per-core un-fusing PR's after row
+// (BENCH_mcshard.json): the same 4-core guest as BenchmarkGuestMTQuad with
+// the widest per-core layout forced (shards 5 = cpu+dev|cpu1|cpu2|cpu3|mem;
+// explicit rather than auto, which resolves to serial on hosts with
+// GOMAXPROCS < 4). Each extra core's private events — core ticks, L1s, TLBs
+// — live on its own affine shard, and only shared-memory traffic crosses a
+// lookahead edge; modeled results stay byte-identical to the fused rows
+// (TestShardedDifferential pins this exact config).
+func BenchmarkGuestMTQuadSharded(b *testing.B) { benchGuestMT(b, 4, 5) }
 
 // --- Ablation benches (DESIGN.md §5) ---
 

@@ -65,6 +65,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"gem5prof/internal/core"
@@ -105,6 +106,23 @@ func run() int {
 		return 2
 	}
 	core.SetDefaultShards(smode)
+
+	// Log each distinct effective shard layout once: -shards is a pure
+	// performance knob, so the only interesting fact is what the request
+	// actually resolved to (clamps included), not one line per simulation.
+	var (
+		shardLogMu   sync.Mutex
+		shardLogSeen = map[string]bool{}
+	)
+	core.SetDefaultShardLog(func(line string) {
+		shardLogMu.Lock()
+		defer shardLogMu.Unlock()
+		if shardLogSeen[line] {
+			return
+		}
+		shardLogSeen[line] = true
+		fmt.Fprintln(os.Stderr, line)
+	})
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -34,7 +34,7 @@ func TestPublicSurface(t *testing.T) {
 		t.Fatal("no host time")
 	}
 
-	if len(gem5prof.WorkloadNames()) != 12 {
+	if len(gem5prof.WorkloadNames()) != 13 {
 		t.Fatalf("workloads = %v", gem5prof.WorkloadNames())
 	}
 	if len(gem5prof.PARSECWorkloads()) != 9 {

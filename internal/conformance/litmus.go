@@ -282,9 +282,11 @@ func RunLitmus(lt *LitmusTest, model string, cores int) (*LitmusResult, error) {
 	return RunLitmusSharded(lt, model, cores, 1)
 }
 
-// RunLitmusSharded is RunLitmus on a sharded event queue: the per-core
-// domains fuse onto the coordinator shard and the result must be identical
-// at every shard count (the battery diffs it against the serial run).
+// RunLitmusSharded is RunLitmus on a sharded event queue: shards == 2 fuses
+// the per-core domains onto the coordinator shard, shards > 2 gives each
+// extra core domain its own affine shard (up to 2+min(cores-1, 3)), and the
+// result must be identical at every shard count and layout (the battery
+// diffs it against the serial run).
 func RunLitmusSharded(lt *LitmusTest, model string, cores, shards int) (*LitmusResult, error) {
 	if cores < len(lt.Threads) {
 		return nil, fmt.Errorf("conformance: litmus %s needs %d cores, got %d", lt.Name, len(lt.Threads), cores)
@@ -303,8 +305,10 @@ func RunLitmusSharded(lt *LitmusTest, model string, cores, shards int) (*LitmusR
 	hcfg.Directory = true
 	if shards >= 2 {
 		sys.EnableSharding(sim.ShardConfig{
-			Shards:  shards,
-			Quantum: sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+			Shards:       shards,
+			Quantum:      sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+			BusLookahead: sim.QuantumFor(hcfg.Bus.Latency),
+			Cores:        cores,
 		})
 	}
 	hier := mem.NewMultiHierarchy(sys, hcfg, cores)

@@ -125,8 +125,9 @@ func RunModelSharded(model string, prog *isa.Program, caches bool, shards int, c
 		hcfg := mem.DefaultHierarchyConfig("sys")
 		if shards >= 2 {
 			sys.EnableSharding(sim.ShardConfig{
-				Shards:  shards,
-				Quantum: sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+				Shards:       shards,
+				Quantum:      sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+				BusLookahead: sim.QuantumFor(hcfg.Bus.Latency),
 			})
 		}
 		hier := mem.NewHierarchy(sys, hcfg)

@@ -81,6 +81,12 @@ type GuestConfig struct {
 	// at every shard count; see ShardMode). The zero value defers to the
 	// process-wide default (SetDefaultShards).
 	Shards ShardMode
+	// ShardLog, when non-nil, receives one line describing the effective
+	// shard layout at build time — requested vs clamped counts and the
+	// domain placement (sim.ShardInfo.String). It is a visibility hook
+	// only and never affects modeled outcomes; it is ignored (like Shards)
+	// on configs that force the serial path.
+	ShardLog func(string)
 	// ExecTrace, when non-nil, receives one line per committed instruction
 	// on every core (gem5's --debug-flags=Exec).
 	ExecTrace io.Writer
@@ -285,12 +291,26 @@ func buildGuest(cfg GuestConfig, tracer sim.Tracer) (*GuestSystem, uint32, error
 		if cfg.Cores > 1 {
 			hcfg.Directory = true
 		}
+		shardLog := resolveShardLog(cfg)
 		if shards := resolveShards(cfg); shards > 1 {
+			// The only CPU-side events that land on the memory shard are
+			// the bus's forward events, scheduled at least the bus latency
+			// in the future — the group→mem edge floor. A zero-latency bus
+			// override leaves the edge unfloored (safe, just conservative).
+			busLook := sim.Tick(0)
+			if hcfg.Bus.Latency > 0 {
+				busLook = sim.QuantumFor(hcfg.Bus.Latency)
+			}
 			sys.EnableSharding(sim.ShardConfig{
-				Shards:   shards,
-				Quantum:  sim.QuantumFor(hcfg.DRAM.RowHitLatency),
-				NewQueue: newQueue,
+				Shards:       shards,
+				Quantum:      sim.QuantumFor(hcfg.DRAM.RowHitLatency),
+				BusLookahead: busLook,
+				NewQueue:     newQueue,
+				Cores:        cfg.NumCPUs,
+				Log:          shardLog,
 			})
+		} else if shardLog != nil {
+			shardLog("sharding: serial (single queue)")
 		}
 		g.Hier = mem.NewMultiHierarchy(sys, hcfg, cfg.NumCPUs)
 	}

@@ -39,7 +39,7 @@ func TestMTSmoke(t *testing.T) {
 		combos = append(combos,
 			combo{core.Minor, cores}, combo{core.O3, cores})
 	}
-	for _, wl := range []string{"dotprod_mt", "histogram_mt"} {
+	for _, wl := range []string{"dotprod_mt", "histogram_mt", "matmul_mt"} {
 		for _, cb := range combos {
 			res, err := core.RunGuest(core.GuestConfig{CPU: cb.model, Workload: wl, Cores: cb.cores})
 			if err != nil {

@@ -17,12 +17,16 @@ import (
 // to the per-session producer/consumer pipeline (PipelineMode).
 type ShardMode int
 
-// Shard modes. Values >= 2 request that many shards (the current layout
-// clamps to 2: cpu+dev | mem).
+// Shard modes. Values >= 2 request that many shards; the layout clamps to
+// the partitionable domains (2 for a single-core guest, 2+min(cores-1, 3)
+// for a multicore one — see sim.ShardConfig).
 const (
 	// ShardAuto enables sharding exactly when the host has cores to spare
 	// (GOMAXPROCS >= 4, leaving room for the pipeline consumer and the
-	// trace replayer next to the two shards).
+	// trace replayer next to the shards). It resolves to the widest derived
+	// layout for the guest: 2 shards (cpu+dev | mem) for a single core,
+	// 1+cores shards (one per extra core domain, core 0 riding shard 0)
+	// for a multicore guest.
 	ShardAuto ShardMode = -1
 	// ShardDefault (the zero value) defers to the process-wide default set
 	// by SetDefaultShards; if that too is the zero value, it means serial.
@@ -72,6 +76,30 @@ func SetDefaultShards(m ShardMode) { defaultShards.Store(int32(m)) }
 // DefaultShards returns the process-wide shard mode.
 func DefaultShards() ShardMode { return ShardMode(defaultShards.Load()) }
 
+// defaultShardLog is the process-wide fallback for GuestConfig.ShardLog:
+// guests whose config leaves ShardLog nil report their effective layout
+// here. cmd/experiments installs a deduplicating stderr logger once at
+// startup so a sweep prints each distinct layout exactly once instead of
+// once per simulation. Atomic so concurrent sessions may read it freely.
+var defaultShardLog atomic.Value // func(string)
+
+// SetDefaultShardLog sets the process-wide shard-layout logger used by
+// guests whose GuestConfig.ShardLog is nil. A nil fn restores silence.
+func SetDefaultShardLog(fn func(string)) { defaultShardLog.Store(shardLogBox{fn}) }
+
+// shardLogBox wraps the function so atomic.Value accepts a nil fn (Store
+// panics on a bare nil interface value).
+type shardLogBox struct{ fn func(string) }
+
+// resolveShardLog returns the effective layout logger for one guest config.
+func resolveShardLog(cfg GuestConfig) func(string) {
+	if cfg.ShardLog != nil {
+		return cfg.ShardLog
+	}
+	box, _ := defaultShardLog.Load().(shardLogBox)
+	return box.fn
+}
+
 // resolveShards returns the effective shard count for one (defaulted) guest
 // config: 1 for the serial path, >= 2 for sharded execution. The Atomic CPU
 // performs its memory accesses synchronously inline (no DRAM events to
@@ -87,7 +115,11 @@ func resolveShards(cfg GuestConfig) int {
 	}
 	if m == ShardAuto {
 		if runtime.GOMAXPROCS(0) >= 4 {
-			m = 2
+			// Widest derived layout: per-core shards next to the memory
+			// worker. Affine core shards execute on the coordinator
+			// goroutine, so auto does not scale the request by host cores
+			// beyond the GOMAXPROCS >= 4 gate.
+			m = ShardMode(2 + clampPerCore(maxShardsRequest, cfg.NumCPUs))
 		} else {
 			m = ShardSerial
 		}
@@ -98,17 +130,50 @@ func resolveShards(cfg GuestConfig) int {
 	return int(m)
 }
 
+// maxShardsRequest is a shard request wide enough to never be the binding
+// constraint in clampPerCore (the per-core count is bounded by the guest's
+// core domains, min(cores-1, 3)).
+const maxShardsRequest = 16
+
+// clampPerCore returns how many per-core affine shards a request for n total
+// shards yields on a guest with the given core count: min(n-2, cores-1, 3),
+// floored at 0. It mirrors the derivation inside sim.EnableSharding so the
+// layout string and checkpoint keys agree with the engine's effective plan
+// (TestShardLayoutMatchesEngine pins the two together).
+func clampPerCore(n, cores int) int {
+	p := n - 2
+	if m := cores - 1; p > m {
+		p = m
+	}
+	if p > 3 {
+		p = 3
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
 // ShardLayout renders the effective shard layout of a guest config as a
 // stable string: "serial" for the single-queue path, "cpu+dev|mem" for the
-// current two-shard layout, and "cpuxN+dev|mem" for a multicore guest whose
-// per-core domains (sim.DomainForCore) all fuse onto the coordinator shard.
-// Checkpoint cache keys include it (see internal/simpoint) so checkpoints
-// taken under different layouts never alias, even though their contents are
-// bit-identical by construction.
+// two-shard layout, "cpuxN+dev|mem" for a multicore guest whose per-core
+// domains (sim.DomainForCore) all fuse onto the coordinator shard, and
+// "cpu+dev|cpu1|...|mem" for the per-core layouts (matching the engine's
+// own ShardInfo.Layout rendering). Checkpoint cache keys include it (see
+// internal/simpoint) so checkpoints taken under different layouts never
+// alias, even though their contents are bit-identical by construction.
 func ShardLayout(cfg GuestConfig) string {
 	d := cfg.withDefaults()
-	if resolveShards(d) < 2 {
+	n := resolveShards(d)
+	if n < 2 {
 		return "serial"
+	}
+	if perCore := clampPerCore(n, d.NumCPUs); perCore > 0 {
+		s := "cpu+dev"
+		for c := 1; c <= perCore; c++ {
+			s += fmt.Sprintf("|cpu%d", c)
+		}
+		return s + "|mem"
 	}
 	if d.NumCPUs > 1 {
 		return fmt.Sprintf("cpux%d+dev|mem", d.NumCPUs)

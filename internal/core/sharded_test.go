@@ -28,6 +28,12 @@ func TestShardedDifferential(t *testing.T) {
 		{"o3_xeon", GuestConfig{CPU: O3, Mode: SE, Workload: "water_nsquared", Scale: 24}, PipelineOff},
 		{"timing_calendar", GuestConfig{CPU: Timing, Mode: SE, Workload: "dedup", Scale: 2048, CalendarQueue: true}, PipelineOff},
 		{"fs_boot_pipelined", GuestConfig{CPU: Timing, Mode: FS, BootExit: true, BootKBs: 8}, PipelineOn},
+		// Multicore cells drive the per-core layouts: shards=4 un-fuses two
+		// core domains (cpu+dev|cpu1|cpu2|mem) and shards=5 all of a quad's
+		// (the shards=2 leg keeps every core fused, and shards > the
+		// partitionable domains clamps — both still byte-identical).
+		{"timing_mt_dual", GuestConfig{CPU: Timing, Mode: SE, Workload: "histogram_mt", Scale: 2048, Cores: 2}, PipelineOff},
+		{"timing_mt_quad", GuestConfig{CPU: Timing, Mode: SE, Workload: "dotprod_mt", Scale: 2048, Cores: 4}, PipelineOff},
 	}
 	host := platform.IntelXeon()
 	for _, c := range cells {
@@ -50,7 +56,7 @@ func TestShardedDifferential(t *testing.T) {
 			if !strings.Contains(serial, "stat ") || strings.Contains(serial, "Cycles:0") {
 				t.Fatalf("suspiciously empty stat dump:\n%.400s", serial)
 			}
-			for _, shards := range []ShardMode{2, 4} {
+			for _, shards := range []ShardMode{2, 4, 5} {
 				dump, trace := run(shards)
 				if dump != serial {
 					t.Fatalf("stat dumps differ between serial and shards=%v:\n%s",
@@ -159,6 +165,54 @@ func TestShardParseMode(t *testing.T) {
 		if !ok || back != m {
 			t.Errorf("round-trip %v -> %q -> %v,%v", m, m.String(), back, ok)
 		}
+	}
+}
+
+// TestShardLayoutMatchesEngine pins core's layout mirror (ShardLayout, used
+// for checkpoint cache keys) against the engine's own effective plan: the
+// layout the guest logs at startup (sim.ShardInfo rendered through ShardLog)
+// must equal what ShardLayout predicted for the same config, clamps and all.
+func TestShardLayoutMatchesEngine(t *testing.T) {
+	cells := []struct {
+		cores  int
+		shards ShardMode
+	}{
+		{1, 2}, {1, 8}, // single core: everything past the memory worker clamps
+		{2, 2},         // fused multicore
+		{2, 4}, {2, 8}, // per-core, clamped by core domains
+		{4, 3}, {4, 5}, // partial and full per-core un-fusing
+	}
+	for _, c := range cells {
+		g := GuestConfig{CPU: Timing, Mode: SE, Workload: "dotprod_mt", Scale: 64,
+			Cores: c.cores, Shards: c.shards}
+		var line string
+		g.ShardLog = func(s string) { line = s }
+		if _, err := RunGuest(g); err != nil {
+			t.Fatalf("cores=%d shards=%v: %v", c.cores, c.shards, err)
+		}
+		i := strings.LastIndex(line, "): ")
+		if i < 0 {
+			t.Fatalf("cores=%d shards=%v: no layout in log line %q", c.cores, c.shards, line)
+		}
+		engine := line[i+len("): "):]
+		if mirror := ShardLayout(g); engine != mirror {
+			t.Errorf("cores=%d shards=%v: engine layout %q != ShardLayout %q",
+				c.cores, c.shards, engine, mirror)
+		}
+	}
+
+	// The serial path logs a fixed line and mirrors to "serial".
+	g := GuestConfig{CPU: Timing, Mode: SE, Workload: "dotprod_mt", Scale: 64}
+	var line string
+	g.ShardLog = func(s string) { line = s }
+	if _, err := RunGuest(g); err != nil {
+		t.Fatal(err)
+	}
+	if line != "sharding: serial (single queue)" {
+		t.Errorf("serial log line = %q", line)
+	}
+	if got := ShardLayout(g); got != "serial" {
+		t.Errorf("serial mirror = %q", got)
 	}
 }
 

@@ -12,7 +12,7 @@ func init() {
 
 // fig16Workloads are the mt-suite kernels: same checksum at every core
 // count, so the scaling rows are verified runs, not just timings.
-var fig16Workloads = []string{"dotprod_mt", "histogram_mt"}
+var fig16Workloads = []string{"dotprod_mt", "histogram_mt", "matmul_mt"}
 
 // fig16CoreCounts returns the guest core counts the figure sweeps: powers
 // of two from 1 up to Options.Cores (default 4). The 1-core column is the

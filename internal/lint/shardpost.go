@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -17,21 +18,25 @@ import (
 //     way to find out. Package sim itself (queue internals, the shard
 //     engine, their tests) is exempt.
 //
-//  2. The Quantum passed to EnableSharding must be provably derived from
-//     sim.QuantumFor — a call of it, a parameter of the enclosing function
-//     (wrappers re-delegate the obligation), or a local whose assignments
-//     all derive. QuantumFor is where the conservative-barrier safety
-//     argument lives (quantum <= minimum cross-domain latency); a raw
-//     constant may be silently larger than a latency someone later tunes
-//     down, and the runtime's quantum-barrier panic would then fire deep in
-//     a run instead of the mistake being visible at the call site.
+//  2. The Quantum and BusLookahead fields passed to EnableSharding must be
+//     provably derived from sim.QuantumFor — a call of it, a parameter of
+//     the enclosing function (wrappers re-delegate the obligation), or a
+//     local whose assignments all derive. QuantumFor is where the
+//     conservative-barrier safety argument lives (each per-edge lookahead
+//     floor <= the minimum latency crossing that edge); a raw constant may
+//     be silently larger than a latency someone later tunes down, and the
+//     runtime's per-edge violation panic would then fire deep in a run
+//     instead of the mistake being visible at the call site. A literal zero
+//     is also accepted: a zero floor grants nothing, which is always safe
+//     (and for Quantum the runtime rejects it at startup).
 //
 // Both rules are syntactic and one-sided: safe-but-unprovable code can be
 // annotated with //lint:allow shardpost <reason>.
 var ShardPost = &Analyzer{
 	Name: "shardpost",
 	Doc: "flag direct Queue scheduling outside package sim (bypasses cross-shard mailbox " +
-		"routing) and EnableSharding quanta not provably derived from sim.QuantumFor",
+		"routing) and EnableSharding lookahead floors (Quantum, BusLookahead) not provably " +
+		"derived from sim.QuantumFor",
 	Run: runShardPost,
 }
 
@@ -87,31 +92,52 @@ func checkQueuePost(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) {
 	}
 }
 
-// checkQuantum locates the Quantum expression flowing into an
+// lookaheadFields are the ShardConfig fields that grant cross-shard
+// scheduling slack and therefore carry the rule-2 provenance obligation:
+// Quantum floors every mem-to-group edge, BusLookahead every group-to-mem
+// edge of the per-edge lookahead matrix.
+var lookaheadFields = []string{"Quantum", "BusLookahead"}
+
+// checkQuantum locates each lookahead-floor expression flowing into an
 // EnableSharding call and demands QuantumFor provenance.
 func checkQuantum(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	arg := ast.Unparen(call.Args[0])
-	q, found := quantumExpr(pass, fd, arg)
-	if !found {
-		pass.Reportf(call.Args[0].Pos(),
-			"EnableSharding config's Quantum is not visible in this function; derive it with sim.QuantumFor at the call site, take it as a parameter, or annotate //lint:allow shardpost <reason>")
-		return
-	}
-	if q != nil && !quantumDerived(pass, fd, q, 0) {
-		pass.Reportf(q.Pos(),
-			"EnableSharding quantum is not provably derived from sim.QuantumFor; the conservative barrier is only safe for quanta bounded by the minimum cross-domain latency — derive it with QuantumFor or annotate //lint:allow shardpost <reason>")
+	for _, field := range lookaheadFields {
+		q, found := quantumExpr(pass, fd, arg, field)
+		if !found {
+			// Invisibility is a property of the whole config value, not of
+			// one field: report it once.
+			pass.Reportf(call.Args[0].Pos(),
+				"EnableSharding config's Quantum is not visible in this function; derive it with sim.QuantumFor at the call site, take it as a parameter, or annotate //lint:allow shardpost <reason>")
+			return
+		}
+		if q != nil && !quantumDerived(pass, fd, q, 0) {
+			pass.Reportf(q.Pos(),
+				"EnableSharding %s is not provably derived from sim.QuantumFor; the conservative barrier is only safe for lookahead floors bounded by the minimum latency crossing the edge — derive it with QuantumFor (or use zero) or annotate //lint:allow shardpost <reason>",
+				fieldNoun(field))
+		}
 	}
 }
 
-// quantumExpr extracts the Quantum field expression from the EnableSharding
-// argument: directly from a composite literal, or from local assignments of
-// the config variable (composite-literal RHS or a cfg.Quantum field write).
-// A nil expression with found=true means the value is delegated (the arg is
-// a parameter of the enclosing function). found=false means the config's
+// fieldNoun renders the field name for diagnostics (Quantum keeps its
+// historical lowercase spelling so existing annotations and fixtures match).
+func fieldNoun(field string) string {
+	if field == "Quantum" {
+		return "quantum"
+	}
+	return field
+}
+
+// quantumExpr extracts the named lookahead field expression from the
+// EnableSharding argument: directly from a composite literal, or from local
+// assignments of the config variable (composite-literal RHS or a cfg.<field>
+// write). A nil expression with found=true means the value is delegated (the
+// arg is a parameter of the enclosing function) or the field is absent (zero
+// value: no slack granted, nothing to prove). found=false means the config's
 // provenance is not visible in this function at all.
-func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) (ast.Expr, bool) {
+func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr, field string) (ast.Expr, bool) {
 	if cl, ok := arg.(*ast.CompositeLit); ok {
-		return quantumField(cl), true
+		return lookaheadField(cl, field), true
 	}
 	id, ok := arg.(*ast.Ident)
 	if !ok {
@@ -138,13 +164,13 @@ func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) (ast.Expr, bool) {
 					(pass.TypesInfo.Defs[li] == obj || pass.TypesInfo.Uses[li] == obj) {
 					if cl, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); ok {
 						found = true
-						if f := quantumField(cl); f != nil {
+						if f := lookaheadField(cl, field); f != nil {
 							q = f
 						}
 					}
 				}
-				// cfg.Quantum = X
-				if se, ok := lhs.(*ast.SelectorExpr); ok && se.Sel.Name == "Quantum" {
+				// cfg.<field> = X
+				if se, ok := lhs.(*ast.SelectorExpr); ok && se.Sel.Name == field {
 					if base, ok := ast.Unparen(se.X).(*ast.Ident); ok && pass.TypesInfo.Uses[base] == obj {
 						found = true
 						q = n.Rhs[i]
@@ -156,7 +182,7 @@ func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) (ast.Expr, bool) {
 				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
 					if cl, ok := ast.Unparen(n.Values[i]).(*ast.CompositeLit); ok {
 						found = true
-						if f := quantumField(cl); f != nil {
+						if f := lookaheadField(cl, field); f != nil {
 							q = f
 						}
 					}
@@ -168,15 +194,15 @@ func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) (ast.Expr, bool) {
 	return q, found
 }
 
-// quantumField returns the Quantum field value of a composite literal, nil
-// if absent (a zero quantum; the runtime rejects it, nothing to prove).
-func quantumField(cl *ast.CompositeLit) ast.Expr {
+// lookaheadField returns the named field value of a composite literal, nil
+// if absent (a zero floor grants no slack; nothing to prove).
+func lookaheadField(cl *ast.CompositeLit, field string) ast.Expr {
 	for _, el := range cl.Elts {
 		kv, ok := el.(*ast.KeyValueExpr)
 		if !ok {
 			continue
 		}
-		if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Quantum" {
+		if k, ok := kv.Key.(*ast.Ident); ok && k.Name == field {
 			return kv.Value
 		}
 	}
@@ -189,12 +215,24 @@ func quantumDerived(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) bool {
 		return false
 	}
 	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		// An explicit zero floor grants no scheduling slack: always safe.
+		return e.Kind == token.INT && e.Value == "0"
 	case *ast.CallExpr:
+		name := ""
 		switch fn := e.Fun.(type) {
 		case *ast.SelectorExpr:
-			return fn.Sel.Name == "QuantumFor"
+			name = fn.Sel.Name
 		case *ast.Ident:
-			return fn.Name == "QuantumFor"
+			name = fn.Name
+		}
+		if name == "QuantumFor" {
+			return true
+		}
+		// A sim.Tick(x) conversion derives iff x does (sim.Tick(0) is the
+		// idiomatic spelling of the zero floor).
+		if name == "Tick" && len(e.Args) == 1 {
+			return quantumDerived(pass, fd, e.Args[0], depth+1)
 		}
 		return false
 	case *ast.Ident:

@@ -26,9 +26,12 @@ func (q *CalendarQueue) Reschedule(e *Event, when Tick) {}
 
 // ShardConfig configures sharded execution.
 type ShardConfig struct {
-	Shards   int
-	Quantum  Tick
-	NewQueue func() Queue
+	Shards       int
+	Quantum      Tick
+	BusLookahead Tick
+	Cores        int
+	NewQueue     func() Queue
+	Log          func(string)
 }
 
 // QuantumFor blesses a cross-domain latency as a barrier quantum.

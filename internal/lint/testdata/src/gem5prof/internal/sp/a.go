@@ -101,3 +101,42 @@ func AllowedQuantum(sys *sim.System) {
 	//lint:allow shardpost barrier safety proven offline for this fixed config
 	sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: 15000})
 }
+
+// GoodBusLookahead derives both per-edge floors at the call site.
+func GoodBusLookahead(sys *sim.System, rowHit, busLat sim.Tick) {
+	sys.EnableSharding(sim.ShardConfig{
+		Shards:       5,
+		Quantum:      sim.QuantumFor(rowHit),
+		BusLookahead: sim.QuantumFor(busLat),
+	})
+}
+
+// GoodBusLookaheadZero leaves the group-to-mem edge unfloored via the
+// conditional sim.Tick(0) idiom: a zero floor grants nothing, always safe.
+func GoodBusLookaheadZero(sys *sim.System, rowHit, busLat sim.Tick) {
+	look := sim.Tick(0)
+	if busLat > 0 {
+		look = sim.QuantumFor(busLat)
+	}
+	sys.EnableSharding(sim.ShardConfig{
+		Shards:       5,
+		Quantum:      sim.QuantumFor(rowHit),
+		BusLookahead: look,
+	})
+}
+
+// BadBusLookahead hardcodes a raw group-to-mem floor.
+func BadBusLookahead(sys *sim.System, rowHit sim.Tick) {
+	sys.EnableSharding(sim.ShardConfig{
+		Shards:       5,
+		Quantum:      sim.QuantumFor(rowHit),
+		BusLookahead: 2000, // want `BusLookahead is not provably derived from sim.QuantumFor`
+	})
+}
+
+// BadBusLookaheadWrite overwrites a derived floor with a raw one.
+func BadBusLookaheadWrite(sys *sim.System, rowHit, busLat sim.Tick) {
+	cfg := sim.ShardConfig{Shards: 5, Quantum: sim.QuantumFor(rowHit)}
+	cfg.BusLookahead = 2000 // want `BusLookahead is not provably derived from sim.QuantumFor`
+	sys.EnableSharding(cfg)
+}

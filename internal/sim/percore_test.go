@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mcWorkload drives a synthetic multicore system shaped like the real
+// per-core layouts: one tick chain per guest core on its own domain, memory
+// accesses crossing to the worker shard and responding onto the issuing
+// core's shard, cross-core pokes (group→group schedules, including same-tick
+// collisions and relaxed Reschedules), and — deliberately — trace records
+// emitted through *other* cores' views mid-dispatch, the way a core's event
+// reaches synchronously into the shared L2 through the root view. Everything
+// must stay byte-identical to the serial run at every layout.
+type mcWorkload struct {
+	views  []*System // per-core group views (views[0] == root)
+	msys   *System
+	fnCPU  FuncID
+	fnMem  FuncID
+	fnResp FuncID
+	fnPoke FuncID
+	rng    splitmix
+	cores  int
+	issued int
+	maxOps int
+	retire uint64
+	poked  uint64
+	exitAt int
+	pokeEv []*Event // per-core reschedulable poke targets
+}
+
+// newMCWorkload builds the workload against sys (sharded or serial). The
+// shared rng is safe: every group event executes on the coordinator in
+// merged deterministic order, which equals the serial order.
+func newMCWorkload(sys *System, cores int, seed uint64, maxOps, exitAt int) *mcWorkload {
+	w := &mcWorkload{
+		msys:   sys.DomainView(DomainMem),
+		rng:    splitmix(seed),
+		cores:  cores,
+		maxOps: maxOps,
+		exitAt: exitAt,
+	}
+	for i := 0; i < cores; i++ {
+		w.views = append(w.views, sys.DomainView(DomainForCore(i)))
+	}
+	tr := sys.Tracer()
+	w.fnCPU = tr.RegisterFunc("test::mcTick", 100, FuncHot)
+	w.fnMem = tr.RegisterFunc("test::mcMem", 200, 0)
+	w.fnResp = tr.RegisterFunc("test::mcResp", 50, FuncHot)
+	w.fnPoke = tr.RegisterFunc("test::mcPoke", 30, 0)
+	return w
+}
+
+func (w *mcWorkload) start() {
+	for i := 0; i < w.cores; i++ {
+		core := i
+		poke := NewEvent(fmt.Sprintf("cpu%d.poke", core), w.fnPoke, nil).SetDomain(DomainForCore(core))
+		poke.fire = func() {
+			w.poked++
+			// Log through this core's view AND the root view: records from
+			// one dispatch may arrive through several group views and must
+			// replay contiguously in dispatch order.
+			w.views[core].Tracer().Call(w.fnPoke)
+			w.views[0].Tracer().Data(uint64(core)<<32|uint64(w.views[0].Now()), 4, true)
+		}
+		w.pokeEv = append(w.pokeEv, poke)
+
+		tick := NewEventPrio(fmt.Sprintf("cpu%d.tick", core), w.fnCPU, PrioCPUTick, nil).
+			SetDomain(DomainForCore(core))
+		var body func()
+		body = func() {
+			v := w.views[core]
+			v.Tracer().Call(w.fnCPU)
+			// Reach "across the hierarchy": a record through the root view
+			// while another core's shard is dispatching.
+			w.views[0].Tracer().Data(uint64(v.Now())<<8|uint64(core), 8, false)
+			if w.issued >= w.maxOps {
+				return
+			}
+			w.issued++
+			id := w.issued
+			r := w.rng.next()
+			// Memory access across the worker boundary: delay is at least
+			// 1000 ticks, the BusLookahead floor the tests configure.
+			d := Tick(1000 * (1 + r%40))
+			acc := NewEvent(fmt.Sprintf("mem.acc.%d", id), w.fnMem, nil).SetDomain(DomainMem)
+			acc.fire = func() { w.memFire(id, core) }
+			v.ScheduleIn(acc, d)
+			// Cross-core poke: a group→group Reschedule through this core's
+			// view onto a sibling's domain, sometimes at the very same tick.
+			if w.cores > 1 && r%3 == 0 {
+				sib := (core + 1 + int(r>>8)%(w.cores-1)) % w.cores
+				delta := Tick(1000 * (r >> 16 % 3)) // 0, 1000, or 2000
+				v.Reschedule(w.pokeEv[sib], v.Now()+delta)
+			}
+			v.ScheduleIn(tick, 1000)
+		}
+		tick.fire = body
+		w.views[0].Schedule(tick, Tick(1000*(1+core)))
+	}
+}
+
+// memFire runs on the worker shard; the response targets the issuing core's
+// shard at least a quantum later. Its delay derives from a pure per-id hash:
+// under sharding it runs concurrently with the group.
+func (w *mcWorkload) memFire(id, core int) {
+	tr := w.msys.Tracer()
+	tr.Call(w.fnMem)
+	tr.Data(uint64(w.msys.Now())<<8|uint64(id&0xff), 64, true)
+	h := splitmix(uint64(id) * 0x5851f42d4c957f2d)
+	extra := Tick(1000 * (h.next() % 8))
+	resp := NewEvent(fmt.Sprintf("mem.resp.%d", id), w.fnResp, nil).SetDomain(DomainForCore(core))
+	resp.fire = func() { w.respFire(id, core) }
+	w.msys.ScheduleIn(resp, testQuantum+1000+extra)
+}
+
+func (w *mcWorkload) respFire(id, core int) {
+	tr := w.views[core].Tracer()
+	tr.Call(w.fnResp)
+	tr.Data(uint64(w.views[core].Now())<<8|uint64(id&0xff), 8, false)
+	w.retire++
+	if w.exitAt > 0 && w.retire == uint64(w.exitAt) {
+		w.views[0].RequestExit("mc test exit", 9)
+	}
+}
+
+// mcConfig selects the sharding of one differential leg.
+type mcConfig struct {
+	shards int        // used when plan is nil; <2 = serial
+	plan   *ShardPlan // explicit topology override
+}
+
+func runMC(t *testing.T, cfg mcConfig, cores int, calendar bool, seed uint64, maxOps, exitAt int, limit Tick) shardRunOut {
+	t.Helper()
+	newQ := func() Queue {
+		if calendar {
+			return NewCalendarQueue(256, 1000)
+		}
+		return NewHeapQueue()
+	}
+	tr := &seqTracer{}
+	sys := NewSystemWith(newQ(), tr, 42)
+	sys.EnableSharding(ShardConfig{
+		Shards:       cfg.shards,
+		Quantum:      QuantumFor(testQuantum),
+		BusLookahead: QuantumFor(1000),
+		NewQueue:     newQ,
+		Cores:        cores,
+		Plan:         cfg.plan,
+	})
+	w := newMCWorkload(sys, cores, seed, maxOps, exitAt)
+	w.start()
+	res := sys.Run(limit, 0)
+	return shardRunOut{res: res, log: tr.log, evServ: sys.EventsServiced(), retired: w.retire + w.poked}
+}
+
+func diffMC(t *testing.T, name string, serial, sharded shardRunOut) {
+	t.Helper()
+	if serial.res != sharded.res {
+		t.Fatalf("%s: RunResult diverged: serial %+v sharded %+v", name, serial.res, sharded.res)
+	}
+	if serial.evServ != sharded.evServ {
+		t.Fatalf("%s: EventsServiced diverged: %d vs %d", name, serial.evServ, sharded.evServ)
+	}
+	if serial.retired != sharded.retired {
+		t.Fatalf("%s: retire/poke count diverged: %d vs %d", name, serial.retired, sharded.retired)
+	}
+	if !reflect.DeepEqual(serial.log, sharded.log) {
+		i := 0
+		for i < len(serial.log) && i < len(sharded.log) && serial.log[i] == sharded.log[i] {
+			i++
+		}
+		t.Fatalf("%s: trace diverged at record %d (of %d/%d): serial %q sharded %q",
+			name, i, len(serial.log), len(sharded.log), tail(serial.log, i), tail(sharded.log, i))
+	}
+}
+
+// TestPerCoreBitIdentical is the per-core layout's core contract: for 2- and
+// 4-core workloads, the fused layout (shards=2), every per-core layout up to
+// the widest, and an over-asked clamped request all reproduce the serial
+// run's results, event counts, and host-visible trace order byte for byte —
+// on both queue backends.
+func TestPerCoreBitIdentical(t *testing.T) {
+	for _, calendar := range []bool{false, true} {
+		for _, cores := range []int{2, 4} {
+			for seed := uint64(1); seed <= 4; seed++ {
+				serial := runMC(t, mcConfig{shards: 1}, cores, calendar, seed, 200, 0, MaxTick)
+				for _, shards := range []int{2, 3, 1 + cores, 8} {
+					sharded := runMC(t, mcConfig{shards: shards}, cores, calendar, seed, 200, 0, MaxTick)
+					diffMC(t, fmt.Sprintf("calendar=%v/cores=%d/seed=%d/shards=%d", calendar, cores, seed, shards),
+						serial, sharded)
+				}
+			}
+		}
+	}
+}
+
+// TestPerCoreExitTruncation: a component-requested exit from a per-core
+// shard leaves results identical to serial, including the partial tick.
+func TestPerCoreExitTruncation(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, exitAt := range []int{1, 13, 80} {
+			serial := runMC(t, mcConfig{shards: 1}, 4, false, seed, 200, exitAt, MaxTick)
+			if serial.res.Status != ExitRequested || serial.res.ExitCode != 9 {
+				t.Fatalf("seed=%d/exitAt=%d: unexpected serial exit %+v", seed, exitAt, serial.res)
+			}
+			for _, shards := range []int{2, 5} {
+				sharded := runMC(t, mcConfig{shards: shards}, 4, false, seed, 200, exitAt, MaxTick)
+				diffMC(t, fmt.Sprintf("seed=%d/exitAt=%d/shards=%d", seed, exitAt, shards), serial, sharded)
+			}
+		}
+	}
+}
+
+// TestPerCoreMultiRun: repeated Run calls with growing limits (the interval
+// runner's pattern) agree across layouts.
+func TestPerCoreMultiRun(t *testing.T) {
+	run := func(shards int) ([]RunResult, []string, uint64) {
+		tr := &seqTracer{}
+		sys := NewSystemWith(NewHeapQueue(), tr, 42)
+		sys.EnableSharding(ShardConfig{
+			Shards: shards, Quantum: testQuantum, BusLookahead: 1000, Cores: 4,
+		})
+		w := newMCWorkload(sys, 4, 11, 150, 0)
+		w.start()
+		var rs []RunResult
+		for _, lim := range []Tick{50_000, 150_000, MaxTick} {
+			rs = append(rs, sys.Run(lim, 0))
+		}
+		return rs, tr.log, sys.EventsServiced()
+	}
+	sr, slog, sev := run(1)
+	for _, shards := range []int{2, 5} {
+		pr, plog, pev := run(shards)
+		if !reflect.DeepEqual(sr, pr) {
+			t.Fatalf("shards=%d: multi-run results diverged:\nserial  %+v\nsharded %+v", shards, sr, pr)
+		}
+		if sev != pev {
+			t.Fatalf("shards=%d: EventsServiced diverged: %d vs %d", shards, sev, pev)
+		}
+		if !reflect.DeepEqual(slog, plog) {
+			t.Fatalf("shards=%d: trace diverged (%d vs %d records)", shards, len(slog), len(plog))
+		}
+	}
+}
+
+// TestShardInfoClampAndLog pins the clamp behavior and the startup
+// visibility hook: the effective layout is validated once, reported in the
+// returned ShardInfo (and via System.ShardInfo), and rendered to cfg.Log as
+// exactly one line naming the clamp.
+func TestShardInfoClampAndLog(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   ShardConfig
+		want  ShardInfo
+		inLog []string
+	}{
+		{
+			name: "single_core_overask_clamps",
+			cfg:  ShardConfig{Shards: 8, Quantum: testQuantum},
+			want: ShardInfo{Requested: 8, Shards: 2, Workers: 1, Clamped: true, Layout: "cpu+dev|mem"},
+			inLog: []string{
+				"sharding: 2 shards (1 worker, requested 8, clamped): cpu+dev|mem",
+			},
+		},
+		{
+			name: "quad_percore_exact",
+			cfg:  ShardConfig{Shards: 5, Quantum: testQuantum, BusLookahead: 1000, Cores: 4},
+			want: ShardInfo{Requested: 5, Shards: 5, Workers: 1, Clamped: false, Layout: "cpu+dev|cpu1|cpu2|cpu3|mem"},
+			inLog: []string{
+				"sharding: 5 shards (1 worker): cpu+dev|cpu1|cpu2|cpu3|mem",
+			},
+		},
+		{
+			name: "quad_partial_percore",
+			cfg:  ShardConfig{Shards: 4, Quantum: testQuantum, Cores: 4},
+			want: ShardInfo{Requested: 4, Shards: 4, Workers: 1, Clamped: false, Layout: "cpu+dev|cpu1|cpu2|mem"},
+		},
+		{
+			name: "dual_overask_clamps",
+			cfg:  ShardConfig{Shards: 8, Quantum: testQuantum, Cores: 2},
+			want: ShardInfo{Requested: 8, Shards: 3, Workers: 1, Clamped: true, Layout: "cpu+dev|cpu1|mem"},
+		},
+		{
+			name: "many_cores_fold",
+			cfg:  ShardConfig{Shards: 16, Quantum: testQuantum, Cores: 6},
+			want: ShardInfo{Requested: 16, Shards: 5, Workers: 1, Clamped: true, Layout: "cpu+dev|cpu1|cpu2|cpu3|mem"},
+		},
+		{
+			name: "fused_multicore",
+			cfg:  ShardConfig{Shards: 2, Quantum: testQuantum, Cores: 4},
+			want: ShardInfo{Requested: 2, Shards: 2, Workers: 1, Clamped: false, Layout: "cpux4+dev|mem"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var lines []string
+			c.cfg.Log = func(s string) { lines = append(lines, s) }
+			sys := NewSystem(1)
+			info := sys.EnableSharding(c.cfg)
+			if info != c.want {
+				t.Fatalf("ShardInfo = %+v, want %+v", info, c.want)
+			}
+			if got := sys.ShardInfo(); got != info {
+				t.Fatalf("System.ShardInfo = %+v, EnableSharding returned %+v", got, info)
+			}
+			if len(lines) != 1 {
+				t.Fatalf("Log called %d times, want exactly once: %q", len(lines), lines)
+			}
+			for _, want := range c.inLog {
+				if lines[0] != want {
+					t.Fatalf("log line = %q, want %q", lines[0], want)
+				}
+			}
+		})
+	}
+
+	// A serial system still answers ShardInfo with the serial layout, and a
+	// below-threshold request reports serial without enabling anything.
+	sys := NewSystem(1)
+	if got := sys.ShardInfo(); got.Shards != 1 || got.Layout != "serial" {
+		t.Fatalf("serial ShardInfo = %+v", got)
+	}
+	if info := sys.EnableSharding(ShardConfig{Shards: 1}); info.Shards != 1 || info.Layout != "serial" || sys.Sharded() {
+		t.Fatalf("Shards=1 should stay serial, got %+v (sharded=%v)", info, sys.Sharded())
+	}
+}
+
+// TestPerEdgeViolationPanics: a cross post below its directed edge's
+// declared floor — or over an edge the plan never declared — must fail
+// loudly, naming the edge and the floor.
+func TestPerEdgeViolationPanics(t *testing.T) {
+	t.Run("below_group_to_mem_floor", func(t *testing.T) {
+		sys := NewSystem(42)
+		sys.EnableSharding(ShardConfig{Shards: 2, Quantum: testQuantum, BusLookahead: 1000})
+		bad := NewEvent("cpu.bad", 0, nil)
+		bad.fire = func() {
+			acc := NewEvent("bad.acc", 0, func() {}).SetDomain(DomainMem)
+			sys.ScheduleIn(acc, 500) // below the 1000-tick group→mem floor
+		}
+		sys.Schedule(bad, 5000)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a per-edge lookahead panic")
+			}
+			msg := fmt.Sprint(r)
+			for _, want := range []string{"cpu+dev→mem edge lookahead 1000", "floor 6000"} {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("panic message %q lacks %q", msg, want)
+				}
+			}
+		}()
+		sys.Run(MaxTick, 0)
+	})
+
+	t.Run("absent_edge", func(t *testing.T) {
+		// A custom plan where cpu1 has no edge to mem: posting across it is
+		// undeclared traffic and must panic regardless of the tick.
+		plan := &ShardPlan{Worker: []bool{false, false, true}, Look: NewLookahead(3)}
+		plan.Layout[DomainMem] = 2
+		plan.Layout[DomainCore1] = 1
+		plan.Look[0][1], plan.Look[1][0] = 0, 0
+		plan.Look[0][2] = 1000
+		plan.Look[2][0], plan.Look[2][1] = testQuantum, testQuantum
+		// plan.Look[1][2] stays LookInf: cpu1 never talks to mem.
+		sys := NewSystem(42)
+		sys.EnableSharding(ShardConfig{Plan: plan})
+		v1 := sys.DomainView(DomainCore1)
+		bad := NewEvent("cpu1.bad", 0, nil).SetDomain(DomainCore1)
+		bad.fire = func() {
+			acc := NewEvent("bad.acc", 0, func() {}).SetDomain(DomainMem)
+			v1.ScheduleIn(acc, testQuantum*4) // far future, still undeclared
+		}
+		sys.Schedule(bad, 5000)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected an absent-edge panic")
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, "absent edge cpu1→mem (lookahead ∞)") {
+				t.Fatalf("panic message %q lacks the edge description", msg)
+			}
+		}()
+		sys.Run(MaxTick, 0)
+	})
+}
+
+// randomPlan derives a valid synthetic topology from r: 2..5 shards, the
+// core domains scattered over the group shards (some fused, some alone),
+// random group→mem floors at or below the workload's minimum cross delay
+// (1000) and random mem→group floors at or below its minimum response delay
+// (testQuantum+1000). The barrier must produce byte-identical results for
+// every such matrix.
+func randomPlan(r *splitmix) *ShardPlan {
+	n := 2 + int(r.next()%4) // 2..5 shards
+	mem := n - 1
+	p := &ShardPlan{Worker: make([]bool, n), Look: NewLookahead(n)}
+	p.Worker[mem] = true
+	p.Layout[DomainMem] = mem
+	for d := DomainCore1; d <= DomainCore3; d++ {
+		if mem > 1 {
+			p.Layout[d] = int(r.next() % uint64(mem))
+		}
+	}
+	for g := 0; g < mem; g++ {
+		p.Look[g][mem] = Tick(500 * (r.next() % 3))     // 0, 500, or 1000
+		p.Look[mem][g] = Tick(1000 * (1 + r.next()%15)) // 1000..15000
+		for h := 0; h < mem; h++ {
+			if g != h {
+				p.Look[g][h] = 0
+			}
+		}
+	}
+	return p
+}
+
+// TestRandomLookaheadMatrices drives seeded random per-edge lookahead
+// matrices (and random core→shard scatters) through the barrier invariants:
+// every topology must reproduce the serial run exactly.
+func TestRandomLookaheadMatrices(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		r := splitmix(seed * 0x9e3779b97f4a7c15)
+		plan := randomPlan(&r)
+		cores := 1 + int(r.next()%4)
+		serial := runMC(t, mcConfig{shards: 1}, cores, false, seed, 150, 0, MaxTick)
+		sharded := runMC(t, mcConfig{plan: plan}, cores, false, seed, 150, 0, MaxTick)
+		diffMC(t, fmt.Sprintf("seed=%d/cores=%d/layout=%v", seed, cores, plan.Layout), serial, sharded)
+	}
+}
+
+// FuzzPerEdgeLookahead lets the fuzzer hunt for (topology, workload) pairs
+// whose sharded run diverges from serial — random per-edge floors, core
+// scatters, core counts, and workload seeds through the full barrier.
+func FuzzPerEdgeLookahead(f *testing.F) {
+	f.Add(uint64(1), uint64(7), uint8(2), uint8(0))
+	f.Add(uint64(42), uint64(3), uint8(4), uint8(1))
+	f.Add(uint64(99), uint64(11), uint8(3), uint8(20))
+	f.Fuzz(func(t *testing.T, planSeed, wlSeed uint64, cores, exitAt uint8) {
+		nc := 1 + int(cores%4)
+		r := splitmix(planSeed)
+		plan := randomPlan(&r)
+		exit := int(exitAt % 40)
+		serial := runMC(t, mcConfig{shards: 1}, nc, false, wlSeed, 120, exit, MaxTick)
+		sharded := runMC(t, mcConfig{plan: plan}, nc, false, wlSeed, 120, exit, MaxTick)
+		diffMC(t, fmt.Sprintf("plan=%d/wl=%d/cores=%d/exit=%d", planSeed, wlSeed, nc, exit), serial, sharded)
+	})
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "sync"
+
 // Deferred tracer replay for sharded execution.
 //
 // Under sharded execution every shard's tracer activity (Call/Data records)
@@ -62,6 +64,38 @@ type segment struct {
 	recs  []traceRec
 }
 
+// segPool recycles drained trace segments (and their backing arenas)
+// between the replayer and the shard logs: a simulation flushes one segment
+// per active shard per barrier round, and without reuse the arena batches
+// dominated allocation (~300 allocs/op and 3x bytes/op in the sharded
+// co-sim benchmark). Pooling is invisible to determinism — a recycled
+// segment is length-reset before reuse and carries no ordering state.
+var segPool = sync.Pool{New: func() any { return new(segment) }}
+
+// recycleSegment resets a fully replayed segment and returns it to the pool,
+// keeping the arena capacity.
+func recycleSegment(s *segment) {
+	s.keys = s.keys[:0]
+	s.offs = s.offs[:0]
+	s.recs = s.recs[:0]
+	segPool.Put(s)
+}
+
+// segsSlicePool recycles the small per-batch segment-pointer slices handed
+// from the coordinator to the replayer (boxed behind a pointer so the pool
+// round-trip itself does not allocate).
+var segsSlicePool = sync.Pool{New: func() any {
+	s := make([]*segment, 0, MaxShards)
+	return &s
+}}
+
+func takeSegsSlice() []*segment { return (*segsSlicePool.Get().(*[]*segment))[:0] }
+
+func putSegsSlice(s []*segment) {
+	s = s[:0]
+	segsSlicePool.Put(&s)
+}
+
 // shardLog accumulates trace groups for one shard. It is written only by
 // the goroutine currently executing that shard and handed over (flushed)
 // only at barrier points, so it needs no locking.
@@ -71,7 +105,9 @@ type shardLog struct {
 }
 
 func newShardLog(shard int) *shardLog {
-	return &shardLog{shard: shard, seg: &segment{shard: shard}}
+	seg := segPool.Get().(*segment)
+	seg.shard = shard
+	return &shardLog{shard: shard, seg: seg}
 }
 
 // begin opens a new trace group for the event with the given key: offs[i]
@@ -89,18 +125,16 @@ func (l *shardLog) data(addr uint64, size uint32, write bool) {
 	l.seg.recs = append(l.seg.recs, traceRec{kind: recData, addr: addr, size: size, write: write})
 }
 
-// take detaches the filled segment, leaving a fresh one sized by hindsight.
+// take detaches the filled segment, replacing it from the segment pool (a
+// recycled arena in steady state, so barrier rounds stop allocating).
 func (l *shardLog) take() *segment {
 	s := l.seg
 	// Terminate: offs gets len(keys)+1 entries, the last one len(recs), so
 	// group i's records are recs[offs[i]:offs[i+1]].
 	s.offs = append(s.offs, len(s.recs))
-	l.seg = &segment{
-		shard: l.shard,
-		keys:  make([]groupKey, 0, cap(s.keys)),
-		offs:  make([]int, 0, cap(s.offs)),
-		recs:  make([]traceRec, 0, cap(s.recs)),
-	}
+	ns := segPool.Get().(*segment)
+	ns.shard = l.shard
+	l.seg = ns
 	return s
 }
 
@@ -109,10 +143,11 @@ func (l *shardLog) empty() bool { return len(l.seg.keys) == 0 }
 
 // replayBatch is one hand-off from the coordinator to the replayer: newly
 // completed segments plus the per-shard safe marks. mark[s] guarantees that
-// shard s will never log another group with key.when < mark[s].
+// shard s will never log another group with key.when < mark[s]. The mark
+// array is sized by MaxShards so batches carry it inline, allocation-free.
 type replayBatch struct {
 	segs  []*segment
-	mark  [2]Tick
+	mark  [MaxShards]Tick
 	final bool // no further batches: drain everything
 }
 
@@ -135,6 +170,18 @@ func (t *shardTracer) RegisterFunc(name string, codeBytes int, flags FuncFlags) 
 	return t.under.RegisterFunc(name, codeBytes, flags)
 }
 
+// logShard resolves which shard log records emitted through this view belong
+// to: the worker logs to its own shard, while group views log to the shard
+// whose event the coordinator is currently dispatching (a group callback
+// reaches synchronously across group views, and its records belong to the
+// dispatched event's group — see shardEngine.cur).
+func (t *shardTracer) logShard() int {
+	if t.shard == t.eng.mem {
+		return t.shard
+	}
+	return t.eng.cur
+}
+
 func (t *shardTracer) Call(fn FuncID) {
 	if !t.eng.running {
 		t.under.Call(fn)
@@ -143,7 +190,7 @@ func (t *shardTracer) Call(fn FuncID) {
 	if t.eng.traceOff {
 		return
 	}
-	t.eng.log[t.shard].call(fn)
+	t.eng.log[t.logShard()].call(fn)
 }
 
 func (t *shardTracer) Data(addr uint64, size uint32, write bool) {
@@ -154,7 +201,7 @@ func (t *shardTracer) Data(addr uint64, size uint32, write bool) {
 	if t.eng.traceOff {
 		return
 	}
-	t.eng.log[t.shard].data(addr, size, write)
+	t.eng.log[t.logShard()].data(addr, size, write)
 }
 
 func (t *shardTracer) AllocData(name string, bytes uint64) uint64 {
@@ -184,9 +231,16 @@ func (st *replayStream) head() (groupKey, bool) {
 		if st.gi < len(st.segs[st.si].keys) {
 			return st.segs[st.si].keys[st.gi], true
 		}
+		// Fully replayed: recycle the segment's arenas. Consumed entries are
+		// also dropped from the slice head once it is fully drained (the
+		// stream keeps absolute indices otherwise).
+		recycleSegment(st.segs[st.si])
+		st.segs[st.si] = nil
 		st.si++
 		st.gi = 0
 	}
+	st.segs = st.segs[:0]
+	st.si = 0
 	return groupKey{}, false
 }
 
@@ -205,7 +259,7 @@ func (st *replayStream) pop(tr Tracer) {
 	st.gi++
 }
 
-// replayLoop drains replayBatches, merging the two shard streams in
+// replayLoop drains replayBatches, k-way-merging the per-shard streams in
 // deterministic key order (ties: lower shard first) and feeding the real
 // tracer. The merge order is a pure function of the logs; batch boundaries
 // and marks only affect when groups become eligible, never their order.
@@ -214,8 +268,8 @@ func (eng *shardEngine) replayLoop() {
 	tr := eng.under
 	hinter, _ := tr.(ShardHinter)
 	curShard := 0
-	var streams [2]replayStream
-	var mark [2]Tick
+	streams := make([]replayStream, len(eng.views))
+	var mark [MaxShards]Tick
 	final := false
 	for !final {
 		batch, ok := <-eng.replayCh
@@ -225,34 +279,51 @@ func (eng *shardEngine) replayLoop() {
 		for _, seg := range batch.segs {
 			streams[seg.shard].segs = append(streams[seg.shard].segs, seg)
 		}
+		if batch.segs != nil {
+			putSegsSlice(batch.segs)
+		}
 		mark = batch.mark
 		final = batch.final
 		for {
-			k0, ok0 := streams[0].head()
-			k1, ok1 := streams[1].head()
-			// With both heads visible the smaller key is the serial-next
-			// group: each stream lists its shard's dispatches in shard pop
-			// order, which equals the serial order restricted to that shard,
-			// so the serial-next event is always one of the two heads and the
-			// key comparison (full ties: lower shard first) decides which.
-			// With only one head visible, emitting is safe once the other
-			// shard provably cannot log anything below it (its mark, or the
-			// final batch).
+			// The minimum visible head is the serial-next group among the
+			// streams that have one: each stream lists its shard's
+			// dispatches in shard pop order, which equals the serial order
+			// restricted to that shard, so the serial-next event is always
+			// some stream's head and the key comparison (full ties: lower
+			// shard first) decides which. Emitting it is safe once every
+			// stream with NO visible head provably cannot log anything
+			// below it (its mark, or the final batch).
 			s := -1
-			switch {
-			case ok0 && ok1:
-				if k1.less(k0) {
-					s = 1
-				} else {
-					s = 0
+			var k groupKey
+			for i := range streams {
+				ki, ok := streams[i].head()
+				if !ok {
+					continue
 				}
-			case ok0 && (final || k0.when < mark[1]):
-				s = 0
-			case ok1 && (final || k1.when < mark[0]):
-				s = 1
+				if s < 0 || ki.less(k) {
+					s, k = i, ki
+				}
 			}
 			if s < 0 {
 				break
+			}
+			if !final {
+				safe := true
+				for i := range streams {
+					if i == s {
+						continue
+					}
+					if _, has := streams[i].head(); has {
+						continue // a visible head is >= k by selection
+					}
+					if k.when >= mark[i] {
+						safe = false
+						break
+					}
+				}
+				if !safe {
+					break
+				}
 			}
 			if hinter != nil && s != curShard {
 				hinter.SetShardHint(s)

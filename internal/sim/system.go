@@ -139,20 +139,40 @@ func (s *System) ScheduleIn(e *Event, delta Tick) {
 	s.Schedule(e, s.queue.Now()+delta)
 }
 
-// Deschedule removes a scheduled event.
+// Deschedule removes a scheduled event. Under sharding an event owned by
+// another affine group shard may be descheduled directly (both shards
+// execute on the coordinator goroutine — guest cores park and wake each
+// other through the threading syscalls); descheduling across the worker
+// boundary is not supported.
 func (s *System) Deschedule(e *Event) {
-	if s.eng != nil && s.eng.layout[e.domain] != s.shard {
-		panic(fmt.Sprintf("sim: cross-shard Deschedule of %s (domain %s)", e.name, e.domain))
+	if s.eng != nil {
+		if dst := s.eng.layout[e.domain]; dst != s.shard {
+			if s.eng.isGroup(dst) && s.eng.isGroup(s.shard) {
+				s.eng.views[dst].queue.Deschedule(e)
+				return
+			}
+			panic(fmt.Sprintf("sim: cross-shard Deschedule of %s (domain %s)", e.name, e.domain))
+		}
 	}
 	s.queue.Deschedule(e)
 }
 
 // Reschedule moves e to absolute tick when, scheduling it if necessary.
-// Cross-shard reschedules are not supported: no component moves an event it
-// does not own, and supporting it would need a cancellation protocol.
+// Like Deschedule, reschedules between affine group shards are direct;
+// across the worker boundary they are not supported (no component moves an
+// event it does not own, and supporting it would need a cancellation
+// protocol).
 func (s *System) Reschedule(e *Event, when Tick) {
-	if s.eng != nil && s.eng.layout[e.domain] != s.shard {
-		panic(fmt.Sprintf("sim: cross-shard Reschedule of %s (domain %s)", e.name, e.domain))
+	if s.eng != nil {
+		if dst := s.eng.layout[e.domain]; dst != s.shard {
+			if s.eng.isGroup(dst) && s.eng.isGroup(s.shard) {
+				s.tracer.Call(s.fnSchedule)
+				//lint:allow pastsched destination queue validates when >= its Now()
+				s.eng.views[dst].queue.Reschedule(e, when)
+				return
+			}
+			panic(fmt.Sprintf("sim: cross-shard Reschedule of %s (domain %s)", e.name, e.domain))
+		}
 	}
 	s.tracer.Call(s.fnSchedule)
 	s.queue.Reschedule(e, when)
@@ -257,67 +277,160 @@ func (s *System) Run(limit Tick, maxEvents uint64) RunResult {
 }
 
 // EnableSharding splits the system onto per-domain event queues executed in
-// parallel under a conservative quantum barrier (see shardedqueue.go). It
-// must be called on the root System before any component that schedules
-// cross-domain events is constructed, and before simulation begins. With
-// cfg.Shards < 2 it is a no-op and the system stays serial. The current
-// layout fuses DomainDev with DomainCPU on shard 0 (the coordinator) and
-// places DomainMem on shard 1, so shard counts above 2 clamp to 2.
-func (s *System) EnableSharding(cfg ShardConfig) {
+// parallel under a conservative per-edge lookahead barrier (see
+// shardedqueue.go). It must be called on the root System before any
+// component that schedules cross-domain events is constructed, and before
+// simulation begins. With cfg.Shards < 2 (and no explicit Plan) it is a
+// no-op and the system stays serial. The topology comes from cfg.Plan when
+// given, otherwise from the derived guest layout: shard 0 is the
+// coordinator (DomainCPU + DomainDev), the last shard is the memory worker,
+// and with Cores > 1 and Shards > 2 up to min(Shards-2, Cores-1, 3)
+// per-core domains get affine shards of their own. Requests beyond the
+// partitionable domains clamp; the returned ShardInfo reports the effective
+// layout and cfg.Log (when set) receives it as one line, so a clamp is
+// visible at startup instead of discovered later.
+func (s *System) EnableSharding(cfg ShardConfig) ShardInfo {
 	if s.prim != nil {
 		panic("sim: EnableSharding on a domain view")
 	}
 	if s.eng != nil {
 		panic("sim: EnableSharding called twice")
 	}
-	if cfg.Shards < 2 {
-		return
+	if cfg.Plan == nil && cfg.Shards < 2 {
+		return ShardInfo{Requested: cfg.Shards, Shards: 1, Layout: "serial"}
 	}
 	if s.started || s.serviced > 0 {
 		panic("sim: EnableSharding after simulation began")
 	}
-	if cfg.Quantum == 0 {
-		panic("sim: EnableSharding requires a nonzero quantum (derive it with QuantumFor)")
+	plan := cfg.Plan
+	if plan == nil {
+		if cfg.Quantum == 0 {
+			panic("sim: EnableSharding requires a nonzero quantum (derive it with QuantumFor)")
+		}
+		plan = derivePlan(cfg)
 	}
+	plan.validate()
+	n := len(plan.Worker)
 	newQ := cfg.NewQueue
 	if newQ == nil {
 		newQ = func() Queue { return NewHeapQueue() }
 	}
 	eng := &shardEngine{
-		quantum: cfg.Quantum,
-		under:   s.tracer,
-		// The per-core domains (DomainCore1..3) fuse onto the coordinator
-		// shard with DomainCPU and DomainDev — their zero value in this
-		// array — because guest cores couple at zero latency through the
-		// threading syscalls; only DomainMem sits behind a latency floor
-		// wide enough for a conservative quantum.
-		layout:  [NumDomains]int{DomainCPU: 0, DomainMem: 1, DomainDev: 0},
-		log:     [2]*shardLog{newShardLog(0), newShardLog(1)},
+		layout: plan.Layout,
+		look:   plan.Look,
+		under:  s.tracer,
+		lookGM: LookInf,
+		lookMG: LookInf,
+	}
+	for i, w := range plan.Worker {
+		if w {
+			eng.mem = i
+		} else {
+			eng.group = append(eng.group, i)
+		}
+	}
+	for _, g := range eng.group {
+		if lk := plan.Look[g][eng.mem]; lk < eng.lookGM {
+			eng.lookGM = lk
+		}
+		if lk := plan.Look[eng.mem][g]; lk < eng.lookMG {
+			eng.lookMG = lk
+		}
 	}
 	if _, nop := s.tracer.(*NopTracer); nop {
 		eng.traceOff = true
 	}
-	mv := &System{
-		queue:      newQ(),
-		byName:     s.byName,
-		stats:      s.stats,
-		rng:        s.rng,
-		fnDispatch: s.fnDispatch,
-		fnSchedule: s.fnSchedule,
-		prim:       s,
-		shard:      1,
-		eng:        eng,
+	eng.views = make([]*System, n)
+	eng.log = make([]*shardLog, n)
+	eng.names = make([]string, n)
+	eng.views[0] = s
+	for i := 1; i < n; i++ {
+		v := &System{
+			queue:      newQ(),
+			byName:     s.byName,
+			stats:      s.stats,
+			rng:        s.rng,
+			fnDispatch: s.fnDispatch,
+			fnSchedule: s.fnSchedule,
+			prim:       s,
+			shard:      i,
+			eng:        eng,
+		}
+		v.tracer = &shardTracer{eng: eng, shard: i, under: eng.under}
+		eng.views[i] = v
 	}
-	mv.tracer = &shardTracer{eng: eng, shard: 1, under: eng.under}
 	s.tracer = &shardTracer{eng: eng, shard: 0, under: eng.under}
-	eng.views = [2]*System{s, mv}
 	s.eng = eng
+	// Affine group shards share the coordinator queue's provenance stamper
+	// (their merged dispatch order must mint stamps like one queue) and must
+	// support clock syncing; the worker keeps its own stamper.
+	rootSharer, rootOK := s.queue.(stampSharer)
 	for i, v := range eng.views {
+		eng.log[i] = newShardLog(i)
+		if i != 0 && eng.isGroup(i) {
+			sh, shOK := v.queue.(stampSharer)
+			_, csOK := v.queue.(clockSyncer)
+			if !rootOK || !shOK || !csOK {
+				panic(fmt.Sprintf("sim: queue backend %T does not support affine group shards (needs shared stamping and clock sync)", v.queue))
+			}
+			sh.shareStamper(rootSharer.stamperPtr())
+		}
 		if pc, ok := v.queue.(panicContexter); ok {
 			shard := i
 			pc.SetPanicContext(func() string { return eng.describe(shard) })
 		}
 	}
+	// Resolve the group clock syncers once: syncGroup runs per dispatched
+	// event and must not re-assert the interface each time.
+	for _, g := range eng.group {
+		if cs, ok := eng.views[g].queue.(clockSyncer); ok {
+			eng.syncers = append(eng.syncers, cs)
+		}
+	}
+	layout := plan.layoutString(cfg.Cores)
+	for i := range eng.names {
+		eng.names[i] = shardDomains(plan, i)
+	}
+	requested := cfg.Shards
+	if cfg.Plan != nil {
+		requested = n
+	}
+	eng.info = ShardInfo{
+		Requested: requested,
+		Shards:    n,
+		Workers:   1,
+		Clamped:   requested != n,
+		Layout:    layout,
+	}
+	if cfg.Log != nil {
+		cfg.Log("sharding: " + eng.info.String())
+	}
+	return eng.info
+}
+
+// ShardInfo returns the effective layout settled on by EnableSharding (the
+// zero value when the system is serial).
+func (s *System) ShardInfo() ShardInfo {
+	if r := s.root(); r.eng != nil {
+		return r.eng.info
+	}
+	return ShardInfo{Shards: 1, Layout: "serial"}
+}
+
+// shardDomains names one shard for messages: "cpu+dev" for the coordinator,
+// the "+"-joined domain names otherwise.
+func shardDomains(p *ShardPlan, shard int) string {
+	if shard == 0 {
+		return "cpu+dev"
+	}
+	s, sep := "", ""
+	for d := Domain(0); d < NumDomains; d++ {
+		if p.Layout[d] == shard {
+			s += sep + d.String()
+			sep = "+"
+		}
+	}
+	return s
 }
 
 // Sharded reports whether sharded execution is enabled.

@@ -27,6 +27,12 @@ func init() {
 		DefaultScale: 4096,
 		Build:        buildHistogramMT,
 	})
+	register(Spec{
+		Name:         "matmul_mt",
+		Suite:        "mt",
+		DefaultScale: 1024,
+		Build:        buildMatmulMT,
+	})
 }
 
 // mtStackStride spaces the per-thread stacks below StackTop.
@@ -370,6 +376,207 @@ hdata:
 		return nil, 0, err
 	}
 	return p, histogramMTRef(scale), nil
+}
+
+// matDim maps a scale (total elements per matrix) to the square dimension:
+// the largest n with n*n <= scale.
+func matDim(scale int) int {
+	n := 0
+	for (n+1)*(n+1) <= scale {
+		n++
+	}
+	return n
+}
+
+// buildMatmulMT is a parallel n x n integer matrix multiply, the
+// coherence-heavy member of the mt suite: workers own disjoint row bands of
+// C (and read disjoint row bands of A), but every worker streams the entire
+// shared B matrix column-wise, so B's lines bounce through the directory in
+// the shared state from every L1 at once. Each worker folds its C band into
+// a position-weighted checksum and returns it through SysThreadExit; the
+// fold is associative over disjoint bands, so the total is core-count-
+// independent.
+func buildMatmulMT(scale int) (*isa.Program, uint32, error) {
+	n := matDim(scale)
+	if n < 8 {
+		return nil, 0, fmt.Errorf("workloads: matmul_mt scale %d too small", scale)
+	}
+	// rows computes C rows [a2, a3) and accumulates sum C[l]*(l+1) into s7.
+	// Expects s0=A, s1=B, s9=C, s2=n. Main runs it twice (band 0, then the
+	// remainder tail), each worker once.
+	rows := func(label string) string {
+		return fmt.Sprintf(`
+%[1]s:
+	bge  a2, a3, %[1]s_x
+	mul  t2, a2, s2      # i*n
+	li   a4, 0           # j
+%[1]s_c:
+	bge  a4, s2, %[1]s_cx
+	li   a5, 0           # k
+	li   a6, 0           # dot accumulator
+%[1]s_k:
+	bge  a5, s2, %[1]s_kx
+	add  t3, t2, a5
+	slli t3, t3, 2
+	add  t3, t3, s0
+	lw   t4, 0(t3)       # A[i][k] (private band)
+	mul  t5, a5, s2
+	add  t5, t5, a4
+	slli t5, t5, 2
+	add  t5, t5, s1
+	lw   t6, 0(t5)       # B[k][j] (shared, column stride)
+	mul  t4, t4, t6
+	add  a6, a6, t4
+	addi a5, a5, 1
+	j    %[1]s_k
+%[1]s_kx:
+	add  t3, t2, a4      # l = i*n + j
+	slli t5, t3, 2
+	add  t5, t5, s9
+	sw   a6, 0(t5)       # C[l]
+	addi t3, t3, 1
+	mul  t4, a6, t3      # C[l] * (l+1)
+	add  s7, s7, t4
+	addi a4, a4, 1
+	j    %[1]s_c
+%[1]s_cx:
+	addi a2, a2, 1
+	j    %[1]s
+%[1]s_x:
+`, label)
+	}
+	src := prologue() + fmt.Sprintf(`
+	# generate A and B
+	la   s0, matA
+	la   s1, matB
+	li   s2, %d          # n
+	li   s3, %d          # n*n
+	li   t1, 2027        # lcg
+	li   t0, 0
+mmgen:
+`+lcgAsm("t1", "t2")+`
+	slli t4, t0, 2
+	add  t5, t4, s0
+	sw   t1, 0(t5)
+`+lcgAsm("t1", "t2")+`
+	add  t5, t4, s1
+	sw   t1, 0(t5)
+	addi t0, t0, 1
+	blt  t0, s3, mmgen
+
+	li   a7, 1008        # SysNumCores
+	ecall
+	mv   s4, a0          # nc
+	divu s5, s2, s4      # row band = n / nc
+	la   t0, mmchunk
+	sw   s5, 0(t0)
+
+	# spawn workers t = 1..nc-1
+	li   s6, 1
+mmspawn:
+	bge  s6, s4, mmsp_x
+	la   a0, mmworker
+	li   t0, %#x         # StackTop
+	li   t2, %#x         # stack stride
+	mul  t3, s6, t2
+	sub  a1, t0, t3
+	mv   a2, s6          # arg: thread index
+	li   a7, 1001        # SysSpawn
+	ecall
+	la   t0, mmharts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	sw   a0, 0(t0)
+	addi s6, s6, 1
+	j    mmspawn
+mmsp_x:
+	# main: band 0, then the remainder tail [band*nc, n)
+	la   s9, matC
+	li   s7, 0
+	li   a2, 0
+	mv   a3, s5
+`, n, n*n, StackTop, mtStackStride) + rows("mmain") + `
+	mul  a2, s5, s4
+	mv   a3, s2
+` + rows("mmtail") + `
+	# join workers, folding their band checksums
+	li   s6, 1
+mmjoin:
+	bge  s6, s4, mmj_x
+	la   t0, mmharts
+	slli t1, s6, 2
+	add  t0, t0, t1
+	lw   a0, 0(t0)
+	li   a7, 1002        # SysJoin
+	ecall
+	add  s7, s7, a0
+	addi s6, s6, 1
+	j    mmjoin
+mmj_x:
+	mv   a0, s7
+` + epilogue() + fmt.Sprintf(`
+mmworker:                # a0 = thread index
+	mv   t6, a0
+	la   t0, mmchunk
+	lw   s5, 0(t0)
+	la   s0, matA
+	la   s1, matB
+	la   s9, matC
+	li   s2, %d          # n
+	mul  a2, t6, s5      # band start
+	add  a3, a2, s5      # band end
+	li   s7, 0
+`, n) + rows("mmw") + `
+	mv   a0, s7
+	li   a7, 1003        # SysThreadExit
+	ecall
+` + fmt.Sprintf(`
+	.align 64
+mmchunk:
+	.space 4
+mmharts:
+	.space 64
+matA:
+	.space %d
+matB:
+	.space %d
+matC:
+	.space %d
+`, 4*n*n, 4*n*n, 4*n*n)
+
+	p, err := mustBuild("matmul_mt", src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, matmulMTRef(scale), nil
+}
+
+// matmulMTRef mirrors the guest: interleaved LCG fills of A and B, full
+// multiply, position-weighted fold mod 2^32 — row partitioning cannot
+// change it.
+func matmulMTRef(scale int) uint32 {
+	n := matDim(scale)
+	a := make([]uint32, n*n)
+	b := make([]uint32, n*n)
+	s := uint32(2027)
+	for i := range a {
+		s = lcgNext(s)
+		a[i] = s
+		s = lcgNext(s)
+		b[i] = s
+	}
+	var acc uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var c uint32
+			for k := 0; k < n; k++ {
+				c += a[i*n+k] * b[k*n+j]
+			}
+			l := uint32(i*n + j)
+			acc += c * (l + 1)
+		}
+	}
+	return acc
 }
 
 // histogramMTRef mirrors the guest: LCG top-byte stream, 16 buckets,

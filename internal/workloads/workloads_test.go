@@ -12,8 +12,8 @@ func TestRegistry(t *testing.T) {
 	names := workloads.Names()
 	want := []string{
 		"blackscholes", "canneal", "dedup", "dotprod_mt", "fmm",
-		"histogram_mt", "ocean_cp", "ocean_ncp", "sieve", "streamcluster",
-		"water_nsquared", "water_spatial",
+		"histogram_mt", "matmul_mt", "ocean_cp", "ocean_ncp", "sieve",
+		"streamcluster", "water_nsquared", "water_spatial",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
