@@ -33,6 +33,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -68,6 +69,14 @@ type Pass struct {
 	Sizes types.Sizes
 	// Report receives every non-suppressed diagnostic.
 	Report func(Diagnostic)
+	// IP is the package's shared interprocedural result, set by the
+	// driver; nil when the driver did not compute summaries (then the
+	// interprocedural analyzers are silently inert).
+	IP *IP
+	// Audit, when non-nil, collects which suppression annotations
+	// actually fired (see SuppressionAudit). Shared across the analyzers
+	// of one unit so -suppressions can report stale entries.
+	Audit *SuppressionAudit
 
 	suppressions map[string][]suppression // filename -> entries, lazily built
 }
@@ -77,6 +86,79 @@ type suppression struct {
 	line     int
 	analyzer string // "" means detmap (//lint:deterministic)
 	reason   string
+}
+
+// SuppressionAudit records, across every analyzer of one unit, which
+// //lint: annotations suppressed at least one diagnostic. Annotations
+// that never fire are stale: the code they excused no longer trips the
+// analyzer, so the excuse (and its reason) is rot.
+type SuppressionAudit struct {
+	// Used maps filename -> annotation line -> true once any analyzer
+	// was suppressed by the annotation on that line.
+	Used map[string]map[int]bool
+}
+
+// NewSuppressionAudit returns an empty audit.
+func NewSuppressionAudit() *SuppressionAudit {
+	return &SuppressionAudit{Used: make(map[string]map[int]bool)}
+}
+
+func (a *SuppressionAudit) mark(file string, line int) {
+	if a == nil {
+		return
+	}
+	m := a.Used[file]
+	if m == nil {
+		m = make(map[int]bool)
+		a.Used[file] = m
+	}
+	m[line] = true
+}
+
+// AuditEntry is one annotation with its fired/stale status, as reported
+// by CollectSuppressions.
+type AuditEntry struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"` // "detmap" for //lint:deterministic
+	Reason   string `json:"reason"`
+	Used     bool   `json:"used"`
+}
+
+// CollectSuppressions lists every annotation in the files with whether it
+// suppressed anything in this audit, sorted by file then line. fset must
+// be the FileSet the files were parsed with.
+func (a *SuppressionAudit) CollectSuppressions(fset *token.FileSet, files []*ast.File) []AuditEntry {
+	var out []AuditEntry
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s, ok := parseAnnotation(c.Text)
+				if !ok || s.reason == "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				name := s.analyzer
+				if name == "" {
+					name = "detmap"
+				}
+				out = append(out, AuditEntry{
+					File:     posn.Filename,
+					Line:     posn.Line,
+					Analyzer: name,
+					Reason:   s.reason,
+					Used:     a.Used[posn.Filename][posn.Line],
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // SourceFiles returns the files analyzers should walk: every file of the
@@ -115,9 +197,11 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 		}
 		switch s.analyzer {
 		case p.Analyzer.Name:
+			p.Audit.mark(posn.Filename, s.line)
 			return true
 		case "":
 			if p.Analyzer.Name == "detmap" {
+				p.Audit.mark(posn.Filename, s.line)
 				return true
 			}
 		}

@@ -10,5 +10,8 @@ func All() []*Analyzer {
 		StatReg,
 		SinkDiscipline,
 		ShardPost,
+		Detflow,
+		FloatOrder,
+		ShardEscape,
 	}
 }

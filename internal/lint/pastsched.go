@@ -123,11 +123,17 @@ func nonNegativeLit(l *ast.BasicLit) bool {
 
 // isParamOf reports whether id resolves to a parameter of fd.
 func isParamOf(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) bool {
+	return paramOf(pass, fd.Type.Params, id)
+}
+
+// paramOf reports whether id resolves to a parameter in params (of a
+// FuncDecl or a FuncLit — closures carry delegated obligations too).
+func paramOf(pass *Pass, params *ast.FieldList, id *ast.Ident) bool {
 	obj := pass.TypesInfo.Uses[id]
-	if obj == nil || fd.Type.Params == nil {
+	if obj == nil || params == nil {
 		return false
 	}
-	for _, field := range fd.Type.Params.List {
+	for _, field := range params.List {
 		for _, name := range field.Names {
 			if pass.TypesInfo.Defs[name] == obj {
 				return true

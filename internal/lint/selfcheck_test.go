@@ -3,13 +3,18 @@ package lint_test
 import (
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // TestSelfApplication is the acceptance bar of the suite: g5lint, run as
-// a vet tool over this repository, must be clean. Every real violation
+// a vet tool over this repository, must be clean — all ten analyzers,
+// including the interprocedural ones (detflow, floatorder, shardescape)
+// whose summaries flow through the vet facts path. Every real violation
 // has been fixed and every benign one carries a reasoned annotation; a
-// regression in either direction fails here.
+// regression in either direction fails here. The suppression audit runs
+// too: an annotation whose diagnostic no longer fires is dead weight
+// that would silently excuse a future, different bug at the same line.
 func TestSelfApplication(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and vets the whole module")
@@ -28,5 +33,15 @@ func TestSelfApplication(t *testing.T) {
 	vet.Dir = root
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Errorf("go vet -vettool=g5lint ./... is not clean: %v\n%s", err, out)
+	}
+
+	audit := exec.Command(tool, "-suppressions", "./...")
+	audit.Dir = root
+	out, err := audit.CombinedOutput()
+	if err != nil {
+		t.Errorf("g5lint -suppressions ./... found stale annotations: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), ", 0 stale") {
+		t.Errorf("suppression audit did not report zero stale:\n%s", out)
 	}
 }

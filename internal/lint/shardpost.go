@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -40,6 +41,16 @@ var ShardPost = &Analyzer{
 	Run: runShardPost,
 }
 
+// fnScope is the function whose parameters carry delegated provenance
+// obligations: a FuncDecl, or — for callbacks — the innermost enclosing
+// FuncLit. Rule 2's "take it as a parameter" escape must resolve against
+// the closure actually receiving the value, not the declaration it
+// happens to be nested in.
+type fnScope struct {
+	params *ast.FieldList
+	body   *ast.BlockStmt
+}
+
 func runShardPost(pass *Pass) error {
 	if !pkgScope(pass) {
 		return nil
@@ -48,30 +59,92 @@ func runShardPost(pass *Pass) error {
 		strings.HasSuffix(pass.Pkg.Path(), "/internal/sim")
 	for _, file := range pass.SourceFiles() {
 		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					shardPostWalk(pass, inSim, fnScope{d.Type.Params, d.Body}, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level callback hooks: var hook = func(...) {...}.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						ast.Inspect(v, func(n ast.Node) bool {
+							if fl, ok := n.(*ast.FuncLit); ok {
+								shardPostWalk(pass, inSim, fnScope{fl.Type.Params, fl.Body}, fl.Body)
+								return false
+							}
+							return true
+						})
+					}
+				}
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				if !inSim {
-					checkQueuePost(pass, call, sel)
-				}
-				if sel.Sel.Name == "EnableSharding" && len(call.Args) == 1 {
-					checkQuantum(pass, fd, call)
-				}
-				return true
-			})
 		}
 	}
 	return nil
+}
+
+// shardPostWalk checks one function body, recursing into nested function
+// literals with their own scope (their parameters, not the outer
+// function's, absorb delegated quanta).
+func shardPostWalk(pass *Pass, inSim bool, sc fnScope, body *ast.BlockStmt) {
+	// Selectors in call position — everything else selecting a queue
+	// method is a captured method value.
+	callFuns := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(c.Fun)] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			shardPostWalk(pass, inSim, fnScope{n.Type.Params, n.Body}, n.Body)
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !inSim {
+				checkQueuePost(pass, n, sel)
+			}
+			if sel.Sel.Name == "EnableSharding" && len(n.Args) == 1 {
+				checkQuantum(pass, sc, n)
+			}
+		case *ast.SelectorExpr:
+			if !inSim && !callFuns[n] {
+				checkQueueMethodValue(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkQueueMethodValue flags q.Schedule captured as a value (a callback
+// bound to the backend): invoking it later bypasses the System exactly
+// like the direct call form, but the old call-site check never saw it.
+func checkQueueMethodValue(pass *Pass, sel *ast.SelectorExpr) {
+	if sel.Sel.Name != "Schedule" && sel.Sel.Name != "Reschedule" {
+		return
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	n := namedType(pass.TypesInfo.TypeOf(sel.X))
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "sim" {
+		return
+	}
+	switch n.Obj().Name() {
+	case "Queue", "HeapQueue", "CalendarQueue":
+		pass.Reportf(sel.Pos(),
+			"capturing %s of a sim queue backend as a method value bypasses the System's cross-shard mailbox routing; capture the System's method instead (or annotate //lint:allow shardpost <reason>)",
+			sel.Sel.Name)
+	}
 }
 
 // checkQueuePost flags Schedule/Reschedule called on a sim queue backend
@@ -100,10 +173,10 @@ var lookaheadFields = []string{"Quantum", "BusLookahead"}
 
 // checkQuantum locates each lookahead-floor expression flowing into an
 // EnableSharding call and demands QuantumFor provenance.
-func checkQuantum(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkQuantum(pass *Pass, sc fnScope, call *ast.CallExpr) {
 	arg := ast.Unparen(call.Args[0])
 	for _, field := range lookaheadFields {
-		q, found := quantumExpr(pass, fd, arg, field)
+		q, found := quantumExpr(pass, sc, arg, field)
 		if !found {
 			// Invisibility is a property of the whole config value, not of
 			// one field: report it once.
@@ -111,7 +184,7 @@ func checkQuantum(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 				"EnableSharding config's Quantum is not visible in this function; derive it with sim.QuantumFor at the call site, take it as a parameter, or annotate //lint:allow shardpost <reason>")
 			return
 		}
-		if q != nil && !quantumDerived(pass, fd, q, 0) {
+		if q != nil && !quantumDerived(pass, sc, q, 0) {
 			pass.Reportf(q.Pos(),
 				"EnableSharding %s is not provably derived from sim.QuantumFor; the conservative barrier is only safe for lookahead floors bounded by the minimum latency crossing the edge — derive it with QuantumFor (or use zero) or annotate //lint:allow shardpost <reason>",
 				fieldNoun(field))
@@ -135,7 +208,7 @@ func fieldNoun(field string) string {
 // arg is a parameter of the enclosing function) or the field is absent (zero
 // value: no slack granted, nothing to prove). found=false means the config's
 // provenance is not visible in this function at all.
-func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr, field string) (ast.Expr, bool) {
+func quantumExpr(pass *Pass, sc fnScope, arg ast.Expr, field string) (ast.Expr, bool) {
 	if cl, ok := arg.(*ast.CompositeLit); ok {
 		return lookaheadField(cl, field), true
 	}
@@ -143,7 +216,7 @@ func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr, field string) (ast.
 	if !ok {
 		return nil, false
 	}
-	if isParamOf(pass, fd, id) {
+	if paramOf(pass, sc.params, id) {
 		return nil, true
 	}
 	obj := pass.TypesInfo.Uses[id]
@@ -152,7 +225,7 @@ func quantumExpr(pass *Pass, fd *ast.FuncDecl, arg ast.Expr, field string) (ast.
 	}
 	var q ast.Expr
 	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(sc.body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
@@ -210,7 +283,7 @@ func lookaheadField(cl *ast.CompositeLit, field string) ast.Expr {
 }
 
 // quantumDerived is the accept predicate of rule 2.
-func quantumDerived(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) bool {
+func quantumDerived(pass *Pass, sc fnScope, e ast.Expr, depth int) bool {
 	if depth > 8 {
 		return false
 	}
@@ -232,27 +305,27 @@ func quantumDerived(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) bool {
 		// A sim.Tick(x) conversion derives iff x does (sim.Tick(0) is the
 		// idiomatic spelling of the zero floor).
 		if name == "Tick" && len(e.Args) == 1 {
-			return quantumDerived(pass, fd, e.Args[0], depth+1)
+			return quantumDerived(pass, sc, e.Args[0], depth+1)
 		}
 		return false
 	case *ast.Ident:
-		if isParamOf(pass, fd, e) {
+		if paramOf(pass, sc.params, e) {
 			return true
 		}
-		return quantumAssignmentsDerived(pass, fd, e, depth)
+		return quantumAssignmentsDerived(pass, sc, e, depth)
 	}
 	return false
 }
 
 // quantumAssignmentsDerived checks that id has at least one assignment in
 // fd and every assignment's RHS is itself QuantumFor-derived.
-func quantumAssignmentsDerived(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, depth int) bool {
+func quantumAssignmentsDerived(pass *Pass, sc fnScope, id *ast.Ident, depth int) bool {
 	obj := pass.TypesInfo.Uses[id]
 	if obj == nil {
 		return false
 	}
 	found, allOK := false, true
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(sc.body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
@@ -262,7 +335,7 @@ func quantumAssignmentsDerived(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, dept
 				}
 				if pass.TypesInfo.Defs[li] == obj || pass.TypesInfo.Uses[li] == obj {
 					found = true
-					if !quantumDerived(pass, fd, n.Rhs[i], depth+1) {
+					if !quantumDerived(pass, sc, n.Rhs[i], depth+1) {
 						allOK = false
 					}
 				}
@@ -271,7 +344,7 @@ func quantumAssignmentsDerived(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, dept
 			for i, name := range n.Names {
 				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
 					found = true
-					if !quantumDerived(pass, fd, n.Values[i], depth+1) {
+					if !quantumDerived(pass, sc, n.Values[i], depth+1) {
 						allOK = false
 					}
 				}

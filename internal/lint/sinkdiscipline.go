@@ -53,6 +53,7 @@ func runSinkDiscipline(pass *Pass) error {
 	}
 	checkEncoderCoverage(pass, recordType, opType, opNames)
 	checkDecoderExhaustive(pass, opType, opNames)
+	checkHandlerTables(pass, opType, opNames)
 	checkSinkLockstep(pass, opNames)
 	return nil
 }
@@ -217,6 +218,46 @@ func checkDecoderExhaustive(pass *Pass, opType types.Type, opNames []string) {
 		if missing := missingFrom(opNames, covered); len(missing) > 0 {
 			pass.Reportf(sw.Pos(),
 				"switch over ring.Op has no case for %s and no default: records of that kind are dropped silently on the pipelined path",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+// checkHandlerTables: a populated map literal keyed by ring.Op — the
+// callback-table form of a decoder (map[ring.Op]func(...), handlers
+// bound as closures or method values) — must cover every Op constant.
+// A missing key is a nil handler: the callback-shaped version of a
+// switch without a case, dropping records just as silently. Empty
+// literals are exempt (tables filled dynamically register their
+// handlers elsewhere).
+func checkHandlerTables(pass *Pass, opType types.Type, opNames []string) {
+	inspect(pass, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || len(cl.Elts) == 0 {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(cl)
+		if t == nil {
+			return true
+		}
+		m, ok := t.Underlying().(*types.Map)
+		if !ok || !types.Identical(m.Key(), opType) {
+			return true
+		}
+		covered := make(map[string]bool)
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			for _, c := range constNamesIn(pass, kv.Key, opType) {
+				covered[c] = true
+			}
+		}
+		if missing := missingFrom(opNames, covered); len(missing) > 0 {
+			pass.Reportf(cl.Pos(),
+				"ring.Op handler table has no entry for %s: records of that kind hit a nil handler on the pipelined path",
 				strings.Join(missing, ", "))
 		}
 		return true

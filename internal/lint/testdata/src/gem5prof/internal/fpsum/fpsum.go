@@ -1,0 +1,56 @@
+// Package fpsum exercises the floatorder analyzer: float accumulation
+// whose iteration order is map-derived — directly, under a
+// //lint:deterministic annotation (which claims commutativity that
+// float addition does not have), split across a call into a persistent
+// accumulator, and laundered through a slice built in map order.
+package fpsum
+
+import "gem5prof/internal/sim"
+
+// Direct form: the Fig. 15 bug.
+func fracSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation ordered by map iteration"
+	}
+	return sum
+}
+
+// The annotation waives detmap/detflow, not floatorder: it claims the
+// loop body commutes, and float addition does not.
+func fracSumAnnotated(m map[string]float64) float64 {
+	var sum float64
+	//lint:deterministic all values positive, total is what matters
+	for _, v := range m {
+		sum += v // want "float accumulation ordered by map iteration"
+	}
+	return sum
+}
+
+// Split across a call: Histogram.Observe accumulates into a persistent
+// float (the callee's FloatAcc bit), and the caller supplies the
+// map-ordered iteration context.
+func observeAll(h *sim.Histogram, m map[uint64]float64) {
+	for _, v := range m {
+		h.Observe(v) // want "float accumulation ordered by map iteration"
+	}
+}
+
+// total is order-sensitive over its argument (RangeSum): handing it a
+// slice whose element order is map-derived reproduces the bug inside
+// the callee.
+func total(vals []float64) float64 {
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+func orderedTotal(m map[string]float64) float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return total(vals) // want "float accumulation ordered by map iteration"
+}

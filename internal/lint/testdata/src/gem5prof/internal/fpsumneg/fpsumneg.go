@@ -1,0 +1,71 @@
+// Package fpsumneg is fpsum's negative twin: the same accumulation
+// shapes made deterministic by sorting, by a pure (local-accumulator)
+// helper, or by an explicit //lint:allow floatorder waiver. It must
+// stay diagnostic-free — over-tainting any of these is a precision
+// regression.
+package fpsumneg
+
+import "sort"
+
+// Keys sorted before the sum: the canonical fix for Fig. 15.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//lint:deterministic keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// dot keeps its accumulator local: it is a pure function of its
+// arguments, so per-iteration calls from a map range are fine.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func nearest(m map[int][]float64, probe []float64) int {
+	best := -1
+	bestD := 1e300
+	//lint:deterministic distances are distinct by construction, min commutes
+	for id, vec := range m {
+		if d := dot(vec, probe); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// An explicit waiver is the only annotation floatorder honors.
+func waivedSum(m map[string]float64) float64 {
+	var sum float64
+	//lint:allow floatorder fixture exercises the waiver path
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Summing a slice whose order the caller fixed is fine even through the
+// order-sensitive helper.
+func sortedTotal(m map[string]float64) float64 {
+	var vals []float64
+	//lint:deterministic values are sorted before summing
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}

@@ -29,3 +29,10 @@ func Apply(rec ring.Record) int {
 	}
 	return 0
 }
+
+// handlers is a callback-table decoder with a hole: OpData records hit a
+// nil handler.
+var handlers = map[ring.Op]func(ring.Record){ // want `handler table has no entry for OpData`
+	ring.OpFetch:  func(ring.Record) {},
+	ring.OpBranch: func(ring.Record) {},
+}

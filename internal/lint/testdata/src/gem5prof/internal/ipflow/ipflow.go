@@ -1,0 +1,74 @@
+// Package ipflow launders each nondeterminism class through two to
+// three call hops — plain helpers, a closure, an interface method —
+// into a determinism-critical sink. Every diagnostic here requires the
+// interprocedural summaries: no single function contains both the
+// source and the sink.
+package ipflow
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"gem5prof/internal/sim"
+)
+
+// --- wallclock laundered through two helpers into a stat ---
+
+func now() float64 { return float64(time.Now().UnixNano()) }
+
+func scaled() float64 { return now() / 1e9 }
+
+func recordWall(r *sim.Registry) {
+	s := r.Scalar("boot", "boot time")
+	s.Set(scaled()) // want "value derived from wall-clock time reaches stat registration"
+}
+
+// --- environment read inside a closure, called at a stat registration ---
+
+func recordEnv(r *sim.Registry) {
+	name := func() string { return os.Getenv("G5_NODE") }
+	r.Counter(name(), "per-node events") // want "value derived from the process environment reaches stat registration"
+}
+
+// --- map iteration order through an interface method hop ---
+
+type chooser interface{ Pick(s string) string }
+
+func recordMap(r *sim.Registry, m map[string]int, c chooser) {
+	first := ""
+	for k := range m {
+		first = k
+		break
+	}
+	r.Histogram(c.Pick(first), "per-key latency") // want "value derived from map iteration order reaches stat registration"
+}
+
+// --- global rand through a helper into the trace arena ---
+
+func symName() string { return fmt.Sprint(rand.Int()) }
+
+func registerSym(tr *sim.Tracer) int {
+	return tr.RegisterFunc(symName(), 64, 0) // want "value derived from host-seeded global rand reaches the trace arena"
+}
+
+// --- formatted pointer into a report writer ---
+
+func dump(v *int, path string) error {
+	line := fmt.Sprintf("cursor at %p\n", v)
+	return os.WriteFile(path, []byte(line), 0o644) // want "value derived from a formatted host pointer reaches a report writer"
+}
+
+// --- environment into a checkpoint encoder (module-local sink name) ---
+
+type image struct{ data []byte }
+
+// Serialize writes the image; the name marks it a checkpoint encoder.
+func (im *image) Serialize(tag string) error { return nil }
+
+func envSuffix() string { return os.Getenv("G5_HOST") }
+
+func snapshot(im *image, host string) error {
+	return im.Serialize(host + envSuffix()) // want "value derived from the process environment reaches a checkpoint encoder"
+}

@@ -1,0 +1,61 @@
+// Package ipflowneg mirrors ipflow's call shapes with deterministic
+// inputs: sim time instead of wall clock, constants instead of env
+// reads, sorted keys instead of raw map order. It asserts the
+// summaries do not over-taint — the package must stay diagnostic-free.
+package ipflowneg
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"gem5prof/internal/sim"
+)
+
+// --- sim time through the same two-helper chain ---
+
+func now(s *sim.System) float64 { return float64(s.Now()) }
+
+func scaled(s *sim.System) float64 { return now(s) / 1e9 }
+
+func recordTime(r *sim.Registry, s *sim.System) {
+	r.Scalar("boot", "boot time").Set(scaled(s))
+}
+
+// --- constant from a closure ---
+
+func recordConst(r *sim.Registry) {
+	name := func() string { return "node0" }
+	r.Counter(name(), "per-node events")
+}
+
+// --- map keys sorted before the interface hop ---
+
+type chooser interface{ Pick(s string) string }
+
+func recordSorted(r *sim.Registry, m map[string]int, c chooser) {
+	keys := make([]string, 0, len(m))
+	//lint:deterministic keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		r.Histogram(c.Pick(keys[0]), "per-key latency")
+	}
+}
+
+// --- deterministic symbol naming into the trace arena ---
+
+func symName(i int) string { return fmt.Sprintf("fn_%d", i) }
+
+func registerSym(tr *sim.Tracer, i int) int {
+	return tr.RegisterFunc(symName(i), 64, 0)
+}
+
+// --- value-formatted (not pointer-formatted) report line ---
+
+func dump(v int, path string) error {
+	line := fmt.Sprintf("cursor at %d\n", v)
+	return os.WriteFile(path, []byte(line), 0o644)
+}

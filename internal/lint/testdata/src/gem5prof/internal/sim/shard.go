@@ -42,3 +42,32 @@ func (s *System) EnableSharding(cfg ShardConfig) {}
 
 // Queue exposes the backend (test/debug surface).
 func (s *System) Queue() Queue { return &HeapQueue{} }
+
+// Domain identifies one shard domain.
+type Domain uint8
+
+// Shard domains: the memory side runs on the worker goroutine, everything
+// else is coordinator-affine.
+const (
+	DomainCPU Domain = iota
+	DomainMem
+	DomainDev
+)
+
+// DomainForCore maps a core index to its private domain.
+func DomainForCore(i int) Domain { return Domain(3 + i%3) }
+
+// DomainView returns a scheduling facade pinned to domain d.
+func (s *System) DomainView(d Domain) *System { return s }
+
+// Tracer records execution into the trace arena (stub).
+type Tracer struct{}
+
+// RegisterFunc interns a guest function symbol.
+func (t *Tracer) RegisterFunc(name string, size uint32, flags int) int { return 0 }
+
+// Call records one call event.
+func (t *Tracer) Call(fn int) {}
+
+// Data records one memory access.
+func (t *Tracer) Data(addr uint64, size uint32, write bool) {}

@@ -140,3 +140,56 @@ func BadBusLookaheadWrite(sys *sim.System, rowHit, busLat sim.Tick) {
 	cfg.BusLookahead = 2000 // want `BusLookahead is not provably derived from sim.QuantumFor`
 	sys.EnableSharding(cfg)
 }
+
+// BadClosurePost hides the backend post inside a returned callback.
+func BadClosurePost(sys *sim.System, e *sim.Event) func() {
+	return func() {
+		sys.Queue().Schedule(e, 100) // want `bypasses the System's cross-shard mailbox routing`
+	}
+}
+
+// BadMethodValue captures the backend's Schedule as a callback value:
+// every later invocation bypasses the mailbox.
+func BadMethodValue(q *sim.HeapQueue) func(*sim.Event, sim.Tick) {
+	return q.Schedule // want `capturing Schedule of a sim queue backend as a method value`
+}
+
+// GoodMethodValue captures the System's method: still mailbox-routed.
+func GoodMethodValue(sys *sim.System) func(*sim.Event, sim.Tick) {
+	return sys.Schedule
+}
+
+// AllowedMethodValue waives a backend capture with an annotation.
+func AllowedMethodValue(q *sim.HeapQueue) func(*sim.Event, sim.Tick) {
+	//lint:allow shardpost replay harness owns the whole queue
+	return q.Schedule
+}
+
+// hook is a package-level callback: rule 1 must reach initializer
+// closures that belong to no FuncDecl.
+var hook = func(q *sim.CalendarQueue, e *sim.Event) {
+	q.Schedule(e, 9) // want `bypasses the System's cross-shard mailbox routing`
+}
+
+// GoodClosureQuantum delegates the floor to the closure's own parameter:
+// the obligation moves to whoever invokes the callback.
+func GoodClosureQuantum(sys *sim.System) func(sim.Tick) {
+	return func(quantum sim.Tick) {
+		sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: quantum})
+	}
+}
+
+// BadClosureQuantum hardcodes the floor inside the callback.
+func BadClosureQuantum(sys *sim.System) func() {
+	return func() {
+		sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: 4096}) // want `not provably derived from sim.QuantumFor`
+	}
+}
+
+// GoodClosureQuantumLocal derives a local inside the closure.
+func GoodClosureQuantumLocal(sys *sim.System, rowHit sim.Tick) func() {
+	return func() {
+		q := sim.QuantumFor(rowHit)
+		sys.EnableSharding(sim.ShardConfig{Shards: 2, Quantum: q})
+	}
+}

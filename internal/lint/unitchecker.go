@@ -12,6 +12,15 @@ package lint
 // The config file supplies the unit's Go files plus a map from package
 // path to compiled export data for every dependency, so type-checking one
 // unit never re-parses its imports.
+//
+// Facts. The go command drives units in package-DAG order and hands each
+// unit a facts file per dependency (Config.PackageVetx) plus a place to
+// write its own (Config.VetxOutput). This driver uses that channel for
+// the interprocedural summaries (see summary.go): module packages get a
+// real PkgSummary computed even in VetxOnly mode (dependency-only
+// visits), everything else gets an empty file. The go command caches the
+// facts next to export data, so warm runs skip unchanged packages
+// entirely.
 
 import (
 	"crypto/sha256"
@@ -28,6 +37,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // Config mirrors the JSON compilation-unit description the go command
@@ -53,15 +63,20 @@ type Config struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// SuppressionPrefix starts every audit line the unit driver emits in
+// -suppressions mode; the standalone parent greps for it.
+const SuppressionPrefix = "g5lint-suppression:"
+
 // Main implements the vettool protocol over the given analyzers and
 // exits. os.Args must hold exactly one of -V=full, -flags, or a *.cfg
-// path (plus optional analyzer enable flags, which are accepted and
-// ignored: the suite always runs whole).
+// path, plus optional analyzer enable flags (accepted and ignored: the
+// suite always runs whole) and the -suppressions=<nonce> audit flag.
 func Main(analyzers []*Analyzer) {
 	log.SetFlags(0)
 	log.SetPrefix("g5lint: ")
 
 	var cfgFile string
+	suppMode := false
 	for _, arg := range os.Args[1:] {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
@@ -70,6 +85,10 @@ func Main(analyzers []*Analyzer) {
 		case arg == "-flags" || arg == "--flags":
 			printFlags(analyzers)
 			os.Exit(0)
+		case strings.HasPrefix(arg, "-suppressions=") || strings.HasPrefix(arg, "--suppressions="):
+			// The value is a nonce whose only job is to change the go
+			// command's cache key, forcing every unit to actually run.
+			suppMode = true
 		case len(arg) > 4 && arg[len(arg)-4:] == ".cfg":
 			cfgFile = arg
 		}
@@ -82,36 +101,140 @@ func Main(analyzers []*Analyzer) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Dependency units are analyzed only for facts, and this suite
-	// exports none: emit the (empty) facts file without parsing anything.
+	// Dependency units are visited for facts only: module packages still
+	// get their interprocedural summary computed (callers need it); for
+	// everything else the facts file is empty.
 	if cfg.VetxOnly {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		var facts []byte
+		if summariesWanted(cfg.ImportPath) {
+			unit, err := typecheckUnit(cfg)
+			if err == nil {
+				ip := NewIP(unit.fset, unit.files, unit.pkg, unit.info, depLoader(cfg))
+				facts, err = EncodeSummary(ip.Result().Summary)
+			}
+			if err != nil && !cfg.SucceedOnTypecheckFailure {
 				log.Fatal(err)
 			}
 		}
+		writeFacts(cfg, facts)
 		os.Exit(0)
 	}
-	diags, err := runUnit(cfg, analyzers)
+
+	unit, err := typecheckUnit(cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			os.Exit(0)
 		}
 		log.Fatal(err)
 	}
-	// The go command caches the (empty) facts file as this unit's output.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	audit := NewSuppressionAudit()
+	var ip *IP
+	if summariesWanted(cfg.ImportPath) {
+		ip = NewIP(unit.fset, unit.files, unit.pkg, unit.info, depLoader(cfg))
+		ip.SetAudit(audit)
+	}
+	diags := runAnalyzers(unit.fset, unit.files, unit.pkg, unit.info, analyzers, ip, audit)
+
+	var facts []byte
+	if ip != nil {
+		if facts, err = EncodeSummary(ip.Result().Summary); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if len(diags) == 0 {
-		os.Exit(0)
-	}
+	writeFacts(cfg, facts)
+
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s\n", d)
 	}
-	os.Exit(1)
+	fail := len(diags) > 0
+	// Debug aid: dump the unit's summary (failing so go vet shows it).
+	if os.Getenv("G5LINT_DUMP_SUMMARY") != "" && len(facts) > 0 {
+		fmt.Fprintf(os.Stderr, "summary %s:\n%s\n", cfg.ImportPath, facts)
+		fail = true
+	}
+	if suppMode {
+		// Report every annotation in non-test files with its fired/stale
+		// status. Emitting anything must fail the unit: the go command
+		// only surfaces a vettool's stderr when it exits nonzero.
+		for _, e := range audit.CollectSuppressions(unit.fset, nonTestFiles(unit.fset, unit.files)) {
+			status := "stale"
+			if e.Used {
+				status = "used"
+			}
+			fmt.Fprintf(os.Stderr, "%s\t%s:%d\t%s\t%s\t%s\n",
+				SuppressionPrefix, e.File, e.Line, e.Analyzer, status, e.Reason)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// summariesWanted reports whether the unit belongs to the module set the
+// interprocedural engine covers (mirrors pkgScope, plus linttest fixture
+// paths which also start with gem5prof/).
+func summariesWanted(path string) bool {
+	if path == "gem5prof" {
+		return true
+	}
+	if !strings.HasPrefix(path, "gem5prof/") {
+		return false
+	}
+	return !strings.HasPrefix(path, "gem5prof/internal/lint") &&
+		!strings.HasPrefix(path, "gem5prof/cmd/g5lint")
+}
+
+// writeFacts stores the unit's facts (summary or empty) where the go
+// command caches them.
+func writeFacts(cfg *Config, facts []byte) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if facts == nil {
+		facts = []byte{}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// depLoader resolves dependency import paths to their decoded summaries
+// through the facts files the go command provided, memoized.
+func depLoader(cfg *Config) func(path string) *PkgSummary {
+	cache := make(map[string]*PkgSummary)
+	seen := make(map[string]bool)
+	return func(path string) *PkgSummary {
+		if seen[path] {
+			return cache[path]
+		}
+		seen[path] = true
+		file, ok := cfg.PackageVetx[path]
+		if !ok {
+			return nil
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil
+		}
+		ps, err := DecodeSummary(data)
+		if err != nil {
+			return nil
+		}
+		cache[path] = ps
+		return ps
+	}
+}
+
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // printVersion emits the -V=full line the go command uses as a cache key:
@@ -142,10 +265,14 @@ func printFlags(analyzers []*Analyzer) {
 		Bool  bool
 		Usage string
 	}
-	flags := make([]jsonFlag, 0, len(analyzers))
+	flags := make([]jsonFlag, 0, len(analyzers)+1)
 	for _, a := range analyzers {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable " + a.Name + " analysis (always on)"})
 	}
+	// Non-bool so the nonce value rides into each unit invocation (and
+	// into the go command's cache key, defeating warm-cache silence).
+	flags = append(flags, jsonFlag{Name: "suppressions", Bool: false,
+		Usage: "audit //lint: annotations; value is a cache-busting nonce"})
 	data, err := json.MarshalIndent(flags, "", "\t")
 	if err != nil {
 		log.Fatal(err)
@@ -168,9 +295,16 @@ func readConfig(filename string) (*Config, error) {
 	return cfg, nil
 }
 
-// runUnit parses and type-checks one compilation unit and runs every
-// analyzer over it, returning rendered diagnostics sorted by position.
-func runUnit(cfg *Config, analyzers []*Analyzer) ([]string, error) {
+// unit is one parsed and type-checked compilation unit.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// typecheckUnit parses and type-checks one compilation unit.
+func typecheckUnit(cfg *Config) (*unit, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -208,7 +342,7 @@ func runUnit(cfg *Config, analyzers []*Analyzer) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runAnalyzers(fset, files, pkg, info, analyzers), nil
+	return &unit{fset: fset, files: files, pkg: pkg, info: info}, nil
 }
 
 // goVersionFor sanitizes the config's language version for types.Config
@@ -233,7 +367,8 @@ func newTypesInfo() *types.Info {
 
 // runAnalyzers executes every analyzer over one type-checked package and
 // renders the findings as "file:line:col: message [g5lint/name]" lines.
-func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []string {
+// ip (may be nil) and audit are shared across the analyzers' passes.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, ip *IP, audit *SuppressionAudit) []string {
 	type posDiag struct {
 		pos token.Position
 		msg string
@@ -247,6 +382,8 @@ func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Pkg:       pkg,
 			TypesInfo: info,
 			Sizes:     types.SizesFor("gc", "amd64"),
+			IP:        ip,
+			Audit:     audit,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

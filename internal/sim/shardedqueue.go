@@ -153,7 +153,6 @@ func (eng *shardEngine) post(src *System, dst int, e *Event, when Tick) {
 		// Construction/startup time, or an intra-group schedule: insert
 		// directly into the owning queue, which validates when against its
 		// own clock (synced to the merged group time before every dispatch).
-		//lint:allow pastsched destination queue validates when >= its Now()
 		eng.views[dst].queue.Schedule(e, when)
 		return
 	}

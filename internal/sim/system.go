@@ -167,7 +167,6 @@ func (s *System) Reschedule(e *Event, when Tick) {
 		if dst := s.eng.layout[e.domain]; dst != s.shard {
 			if s.eng.isGroup(dst) && s.eng.isGroup(s.shard) {
 				s.tracer.Call(s.fnSchedule)
-				//lint:allow pastsched destination queue validates when >= its Now()
 				s.eng.views[dst].queue.Reschedule(e, when)
 				return
 			}
